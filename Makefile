@@ -1,0 +1,47 @@
+# Convenience targets for the Run-Walk-Crawl reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench experiments experiments-quick examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/telemetry/ ./internal/controller/ ./rwc/
+
+cover:
+	$(GO) test -cover ./internal/... ./rwc/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure (minutes at paper scale).
+experiments:
+	$(GO) run ./cmd/rwc-experiments
+
+experiments-quick:
+	$(GO) run ./cmd/rwc-experiments -quick
+
+# Run all example programs.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/availability
+	$(GO) run ./examples/hitless
+	$(GO) run ./examples/throughput
+	$(GO) run ./examples/controller
+	$(GO) run ./examples/protection
+	$(GO) run ./examples/provisioning
+	$(GO) run ./examples/fibbing
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,119 @@
+// Command rwc-experiments regenerates every table and figure of the
+// paper's evaluation and prints them as text tables.
+//
+// Usage:
+//
+//	rwc-experiments [-quick] [-seed N] [-figure name]
+//
+// Figures: fig1, fig2a, fig2b, fig3a, fig3b, fig4, fig4c, fig5, fig6b,
+// fig7, fig8, theorem1, throughput, availability, sensitivity,
+// safeguards, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// tabler is any experiment result.
+type tabler interface{ Table() *experiments.Table }
+
+// experimentFunc runs one experiment.
+type experimentFunc func(experiments.Options) (tabler, error)
+
+// wrap adapts a concrete experiment to experimentFunc.
+func wrap[T tabler](f func(experiments.Options) (T, error)) experimentFunc {
+	return func(o experiments.Options) (tabler, error) { return f(o) }
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run the scaled-down configuration (seconds instead of minutes)")
+	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
+	figure := flag.String("figure", "all", "which figure to regenerate")
+	format := flag.String("format", "text", "output format: text, csv, or md")
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+		opts.Dataset.Seed = *seed
+	}
+
+	// "all" runs these; fig1series (2000 long-form rows, meant for CSV
+	// plotting) stays opt-in by name.
+	order := []string{
+		"fig1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4", "fig4c",
+		"fig5", "fig6b", "fig7", "fig8", "theorem1", "throughput", "availability",
+		"sensitivity", "safeguards",
+	}
+	registry := map[string]experimentFunc{
+		"fig1":         wrap(experiments.Figure1),
+		"fig1series":   wrap(experiments.Figure1Series),
+		"fig2a":        wrap(experiments.Figure2a),
+		"fig2b":        wrap(experiments.Figure2b),
+		"fig3a":        wrap(experiments.Figure3a),
+		"fig3b":        wrap(experiments.Figure3b),
+		"fig4":         wrap(experiments.Figure4),
+		"fig4c":        wrap(experiments.Figure4c),
+		"fig5":         wrap(experiments.Figure5),
+		"fig6b":        wrap(experiments.Figure6b),
+		"fig7":         wrap(experiments.Figure7),
+		"fig8":         wrap(experiments.Figure8),
+		"theorem1":     wrap(experiments.Theorem1),
+		"throughput":   wrap(experiments.ThroughputGains),
+		"availability": wrap(experiments.AvailabilityGains),
+		"sensitivity":  wrap(experiments.ThresholdSensitivity),
+		"safeguards":   wrap(experiments.ControllerAblation),
+	}
+
+	var selected []string
+	if *figure == "all" {
+		selected = order
+	} else {
+		for _, name := range strings.Split(*figure, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := registry[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown figure %q; known: %s, all\n", name, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+	}
+
+	render := func(t *experiments.Table) error { return t.Render(os.Stdout) }
+	switch *format {
+	case "text":
+		mode := "paper-scale"
+		if *quick {
+			mode = "quick"
+		}
+		fmt.Printf("Run, Walk, Crawl reproduction — %s run (%d links, %v horizon)\n\n",
+			mode, opts.Dataset.Links(), opts.Dataset.Duration)
+	case "csv":
+		render = func(t *experiments.Table) error { return t.RenderCSV(os.Stdout) }
+	case "md":
+		render = func(t *experiments.Table) error { return t.RenderMarkdown(os.Stdout) }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (text, csv, md)\n", *format)
+		os.Exit(2)
+	}
+
+	for _, name := range selected {
+		res, err := registry[name](opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := render(res.Table()); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: render: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command rwc-provision runs the optical provisioning layer on a
+// reference fiber plant: it provisions a wavelength per IP adjacency
+// (plus optional express lightpaths), prints the lightpath table with
+// QoT-derived SNR and feasible capacity, and summarizes the exported
+// Algorithm-1 TE input.
+//
+// Usage:
+//
+//	rwc-provision [-topology abilene|us] [-channels N] [-express A,B;C,D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/spectrum"
+	"repro/internal/wan"
+)
+
+func main() {
+	topology := flag.String("topology", "abilene", "fiber plant: abilene or us")
+	channels := flag.Int("channels", 40, "wavelength channels per fiber")
+	express := flag.String("express", "", "extra express lightpaths, e.g. \"Seattle,NewYork;LosAngeles,NewYork\"")
+	flag.Parse()
+
+	var net *wan.Network
+	switch *topology {
+	case "abilene":
+		net = wan.Abilene(1)
+	case "us":
+		net = wan.USBackbone(1)
+	default:
+		fmt.Fprintf(os.Stderr, "rwc-provision: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+
+	// Rebuild the fiber plant with lengths in km (weights are 100 km
+	// units in the wan package).
+	fibers := graph.New()
+	for i := 0; i < net.G.NumNodes(); i++ {
+		fibers.AddNode(net.G.NodeName(graph.NodeID(i)))
+	}
+	for _, e := range net.G.Edges() {
+		fibers.AddEdge(graph.Edge{From: e.From, To: e.To, Weight: e.Weight * 100})
+	}
+
+	optical, err := spectrum.NewNetwork(fibers, spectrum.Config{Channels: *channels})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-provision: %v\n", err)
+		os.Exit(1)
+	}
+
+	nodeByName := map[string]graph.NodeID{}
+	for i := 0; i < fibers.NumNodes(); i++ {
+		nodeByName[fibers.NodeName(graph.NodeID(i))] = graph.NodeID(i)
+	}
+
+	// One lightpath per directed adjacency.
+	blocked := 0
+	for _, e := range net.G.Edges() {
+		if _, err := optical.Provision(e.From, e.To); err != nil {
+			fmt.Fprintf(os.Stderr, "  adjacency %s->%s blocked: %v\n",
+				fibers.NodeName(e.From), fibers.NodeName(e.To), err)
+			blocked++
+		}
+	}
+
+	// Express requests.
+	if *express != "" {
+		for _, pair := range strings.Split(*express, ";") {
+			parts := strings.Split(pair, ",")
+			if len(parts) != 2 {
+				fmt.Fprintf(os.Stderr, "rwc-provision: bad express pair %q\n", pair)
+				os.Exit(2)
+			}
+			src, okS := nodeByName[strings.TrimSpace(parts[0])]
+			dst, okD := nodeByName[strings.TrimSpace(parts[1])]
+			if !okS || !okD {
+				fmt.Fprintf(os.Stderr, "rwc-provision: unknown city in %q\n", pair)
+				os.Exit(2)
+			}
+			if _, err := optical.Provision(src, dst); err != nil {
+				fmt.Fprintf(os.Stderr, "  express %s blocked: %v\n", pair, err)
+				blocked++
+			}
+		}
+	}
+
+	fmt.Printf("lightpath  ch  route%sSNR dB  deployed  feasible  headroom\n", strings.Repeat(" ", 36))
+	for _, lp := range optical.Lightpaths() {
+		route := ""
+		for i, n := range lp.Route.Nodes {
+			if i > 0 {
+				route += "-"
+			}
+			route += fibers.NodeName(n)
+		}
+		if len(route) > 38 {
+			route = route[:35] + "..."
+		}
+		fmt.Printf("%9d  %02d  %-40s %5.1f  %7.0fG %8.0fG %8.0fG\n",
+			lp.ID, lp.Channel, route, lp.SNRdB,
+			float64(lp.Capacity), float64(lp.Feasible), float64(lp.Headroom()))
+	}
+
+	top, _, err := optical.ToTopology(50)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-provision: %v\n", err)
+		os.Exit(1)
+	}
+	var headroom float64
+	for _, up := range top.Upgrades {
+		headroom += up.ExtraCapacity
+	}
+	fmt.Printf("\nlightpaths: %d (blocked: %d)\n", len(optical.Lightpaths()), blocked)
+	fmt.Printf("spectrum utilization: %.1f%%, fragmentation index: %.3f\n",
+		100*optical.Utilization(), optical.FragmentationIndex())
+	fmt.Printf("exported TE input: %d IP links, %d upgradable, %.0f Gbps total headroom\n",
+		top.G.NumEdges(), len(top.Upgrades), headroom)
+}

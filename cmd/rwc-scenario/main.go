@@ -1,0 +1,90 @@
+// Command rwc-scenario replays a JSON failure scenario through the
+// dynamic-capacity control loop and prints the round-by-round report,
+// comparing dynamic operation against today's binary up/down rule on
+// the identical event timeline.
+//
+// Usage:
+//
+//	rwc-scenario -file scenario.json [-print-sample]
+//
+// See internal/scenario's LoadJSON doc comment for the file format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/controller"
+	"repro/internal/scenario"
+)
+
+const sample = `{
+  "nodes": ["SEA", "DEN", "NYC"],
+  "links": [
+    {"from": "SEA", "to": "DEN", "weight": 1, "bidir": true},
+    {"from": "DEN", "to": "NYC", "weight": 1, "bidir": true}
+  ],
+  "rounds": 6,
+  "baseline_snr_db": 16,
+  "demands": [{"from": "SEA", "to": "NYC", "gbps": 120}],
+  "events": [
+    {"round": 2, "from": "SEA", "to": "DEN", "snr_db": 4.2},
+    {"round": 4, "from": "SEA", "to": "DEN", "snr_db": 16}
+  ]
+}
+`
+
+func main() {
+	file := flag.String("file", "", "JSON scenario file (required unless -print-sample)")
+	printSample := flag.Bool("print-sample", false, "print a sample scenario file and exit")
+	flag.Parse()
+
+	if *printSample {
+		fmt.Print(sample)
+		return
+	}
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "rwc-scenario: -file is required (see -print-sample)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-scenario: %v\n", err)
+		os.Exit(1)
+	}
+	g, script, err := scenario.LoadJSON(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-scenario: %v\n", err)
+		os.Exit(1)
+	}
+
+	dynamic, binary, err := scenario.CompareDynamicBinary(g, 100, controller.Config{}, script)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-scenario: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scenario: %d nodes, %d links, %d rounds, %d events\n\n",
+		g.NumNodes(), g.NumEdges(), script.Rounds, len(script.Events))
+	fmt.Println("round  offered  dynamic shipped  binary shipped  dynamic orders")
+	for i := range dynamic.Rounds {
+		d := dynamic.Rounds[i]
+		b := binary.Rounds[i]
+		fmt.Printf("%5d  %7.0f  %15.0f  %14.0f  %d\n",
+			d.Round, d.Offered, d.Shipped, b.Shipped, len(d.Orders))
+		for _, o := range d.Orders {
+			e := g.Edge(o.Edge)
+			fmt.Printf("       %s %s->%s: %.0fG -> %.0fG\n",
+				o.Kind, g.NodeName(e.From), g.NodeName(e.To), float64(o.From), float64(o.To))
+		}
+	}
+	fmt.Printf("\nmean satisfied: dynamic %.1f%%, binary %.1f%%\n",
+		100*dynamic.MeanSatisfied, 100*binary.MeanSatisfied)
+	fmt.Printf("dark link-rounds: dynamic %d, binary %d\n",
+		dynamic.DarkLinkRounds, binary.DarkLinkRounds)
+	fmt.Printf("modulation changes: dynamic %d, binary %d\n",
+		dynamic.TotalChanges, binary.TotalChanges)
+}

@@ -1,0 +1,84 @@
+// Command rwc-snrgen generates a synthetic SNR telemetry fleet (the
+// stand-in for the paper's 2.5-year backbone dataset) and writes it in
+// the telemetry binary format, optionally with a JSON summary.
+//
+// Usage:
+//
+//	rwc-snrgen -out fleet.rwct [-json summary.json] [-fibers N]
+//	           [-wavelengths N] [-days N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	out := flag.String("out", "", "output path for the binary fleet (required)")
+	jsonOut := flag.String("json", "", "optional output path for a JSON summary")
+	fibers := flag.Int("fibers", 12, "number of fiber cables")
+	wavelengths := flag.Int("wavelengths", 10, "wavelengths per fiber")
+	days := flag.Int("days", 180, "telemetry horizon in days")
+	seed := flag.Uint64("seed", 20170701, "generator seed")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "rwc-snrgen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := dataset.DefaultConfig()
+	cfg.Fibers = *fibers
+	cfg.Fiber.Wavelengths = *wavelengths
+	cfg.Duration = time.Duration(*days) * 24 * time.Hour
+	cfg.Seed = *seed
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-snrgen: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("generating %d links × %d days @ 15 min (seed %d)...\n",
+		cfg.Links(), *days, *seed)
+	fleet, err := dataset.GenerateFleet(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-snrgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-snrgen: %v\n", err)
+		os.Exit(1)
+	}
+	n, err := fleet.WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-snrgen: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes, %d links)\n", *out, n, len(fleet.Links))
+
+	if *jsonOut != "" {
+		jf, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rwc-snrgen: %v\n", err)
+			os.Exit(1)
+		}
+		err = fleet.WriteSummaryJSON(jf)
+		if cerr := jf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rwc-snrgen: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}

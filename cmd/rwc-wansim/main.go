@@ -1,0 +1,109 @@
+// Command rwc-wansim runs the WAN throughput/availability simulation:
+// a backbone topology under SNR evolution, operated statically or
+// dynamically (via the paper's graph abstraction), with per-round
+// metrics printed as CSV-like rows.
+//
+// Usage:
+//
+//	rwc-wansim [-topology abilene|us|random] [-rounds N] [-policy p]
+//	           [-demand f] [-wavelengths N] [-seed N] [-hitless]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/wan"
+)
+
+func main() {
+	topology := flag.String("topology", "abilene", "backbone: abilene, us, or random")
+	rounds := flag.Int("rounds", 28, "TE recomputation rounds")
+	interval := flag.Duration("interval", 6*time.Hour, "time between rounds")
+	policy := flag.String("policy", "all", "policy: static100, staticmax, dynamic, or all")
+	demand := flag.Float64("demand", 1.2, "offered load as a fraction of static-100G capacity")
+	wavelengths := flag.Int("wavelengths", 2, "wavelengths per fiber")
+	seed := flag.Uint64("seed", 2017, "simulation seed")
+	hitless := flag.Bool("hitless", false, "assume hitless (35 ms) capacity changes instead of 68 s")
+	lengthAware := flag.Bool("lengthaware", false, "derive per-fiber SNR baselines from link length (QoT model)")
+	flag.Parse()
+
+	var net *wan.Network
+	var err error
+	switch *topology {
+	case "abilene":
+		net = wan.Abilene(*wavelengths)
+	case "us":
+		net = wan.USBackbone(*wavelengths)
+	case "random":
+		net, err = wan.RandomBackbone(20, 14, *wavelengths, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "rwc-wansim: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-wansim: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := wan.SimConfig{
+		Net:            net,
+		Rounds:         *rounds,
+		RoundInterval:  *interval,
+		Seed:           *seed,
+		DemandFraction: *demand,
+		DemandSigma:    0.1,
+	}
+	if *hitless {
+		cfg.ChangeDowntime = 35 * time.Millisecond
+	}
+	cfg.LengthAware = *lengthAware
+	sim, err := wan.NewSimulation(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-wansim: %v\n", err)
+		os.Exit(1)
+	}
+
+	policies := map[string]wan.Policy{
+		"static100": wan.PolicyStatic100,
+		"staticmax": wan.PolicyStaticMax,
+		"dynamic":   wan.PolicyDynamic,
+	}
+	var run []wan.Policy
+	if *policy == "all" {
+		run = []wan.Policy{wan.PolicyStatic100, wan.PolicyStaticMax, wan.PolicyDynamic}
+	} else {
+		p, ok := policies[*policy]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rwc-wansim: unknown policy %q\n", *policy)
+			os.Exit(2)
+		}
+		run = []wan.Policy{p}
+	}
+
+	fmt.Printf("# topology=%s nodes=%d fibers=%d wavelengths=%d rounds=%d demand=%.2fx seed=%d\n",
+		*topology, net.G.NumNodes(), net.NumFibers, *wavelengths, *rounds, *demand, *seed)
+	fmt.Println("policy,round,offered_gbps,shipped_gbps,satisfied,capacity_gbps,changes,dark_links,disrupted_gbps_sec")
+	for _, p := range run {
+		res, err := sim.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rwc-wansim: %v: %v\n", p, err)
+			os.Exit(1)
+		}
+		for _, m := range res.Rounds {
+			fmt.Printf("%s,%d,%.1f,%.1f,%.4f,%.0f,%d,%d,%.1f\n",
+				p, m.Round, m.OfferedGbps, m.ShippedGbps, m.SatisfiedFraction(),
+				m.CapacityGbps, m.Changes, m.LinksDark, m.DisruptedGbpsSec)
+		}
+		dark := 0
+		var disrupted float64
+		for _, m := range res.Rounds {
+			dark += m.LinksDark
+			disrupted += m.DisruptedGbpsSec
+		}
+		fmt.Printf("# %s summary: mean_satisfied=%.4f total_shipped=%.0f changes=%d dark_link_rounds=%d disrupted_gbps_sec=%.0f\n",
+			p, res.MeanSatisfied(), res.TotalShipped(), res.TotalChanges(), dark, disrupted)
+	}
+}

@@ -1,0 +1,77 @@
+// Availability shows §2.2's headline scenario: an amplifier failure
+// drops a link's SNR from 12 dB to 4.5 dB. Under today's binary rule
+// the link fails outright (SNR < 6.5 dB); with dynamic capacities it
+// flaps to 50 Gbps (SNR ≥ 3.0 dB) and keeps carrying traffic while the
+// repair happens.
+//
+// Run with: go run ./examples/availability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rwc"
+)
+
+func main() {
+	ladder := rwc.DefaultLadder()
+
+	// A transceiver running a healthy 100 Gbps wavelength.
+	tr, err := rwc.NewTransceiver(rwc.TransceiverConfig{
+		InitialMode:  100,
+		ChannelSNRdB: 12.0,
+		HotCapable:   true, // §3.1's efficient reconfiguration
+		Seed:         42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	drv := rwc.NewDriver(tr, ladder)
+
+	fmt.Println("t0: healthy link")
+	report(tr, ladder)
+
+	// An amplifier fails: SNR collapses to 4.5 dB.
+	fmt.Println("\nt1: amplifier failure, SNR drops to 4.5 dB")
+	tr.SetChannelSNR(4.5)
+	report(tr, ladder)
+	fmt.Println("    binary rule: link DOWN (4.5 dB < 6.5 dB threshold) — an outage ticket")
+
+	// Dynamic capacity: flap down to the feasible rate instead.
+	feasible, ok := ladder.FeasibleCapacity(4.5)
+	if !ok {
+		log.Fatal("no feasible mode — would be a real outage")
+	}
+	fmt.Printf("\nt2: dynamic operation re-modulates to the feasible rate (%v Gbps)\n", feasible.Capacity)
+	rep, err := drv.ChangeModulation(feasible.Capacity, rwc.MethodHot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    hitless change took %v of downtime (vs ~68 s with a laser power-cycle)\n", rep.Downtime)
+	report(tr, ladder)
+
+	// Repair completes; SNR recovers; upgrade back.
+	fmt.Println("\nt3: repair completes, SNR back to 12 dB — upgrade to 150 Gbps")
+	tr.SetChannelSNR(12)
+	rep, err = drv.ChangeModulation(150, rwc.MethodHot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    change took %v of downtime\n", rep.Downtime)
+	report(tr, ladder)
+
+	fmt.Println("\noutcome: one outage ticket avoided; the link carried 50 Gbps through the failure")
+	fmt.Println("(the paper finds ≥25% of WAN failures keep SNR ≥ 3 dB and could end like this)")
+}
+
+// report prints the link state.
+func report(tr *rwc.Transceiver, ladder *rwc.Ladder) {
+	m, _ := tr.Mode()
+	state := "UP"
+	if !tr.LinkUp() {
+		state = "DOWN"
+	}
+	fmt.Printf("    mode %v Gbps (%v, needs %.1f dB) — link %s\n",
+		m.Capacity, m.Format, m.MinSNRdB, state)
+}

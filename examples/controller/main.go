@@ -1,0 +1,134 @@
+// Controller wires the whole system together the way a deployment
+// would: a telemetry collector streams per-link SNR over TCP, the
+// control loop subscribes, steps an unmodified TE algorithm through the
+// graph abstraction every round, and executes the resulting modulation
+// orders on (simulated) bandwidth variable transceivers.
+//
+// The scenario: a three-node line network; demand outgrows the static
+// configuration (→ TE-decided upgrades); then an amplifier degrades one
+// link (→ forced capacity flap instead of an outage); then it recovers
+// (→ restore).
+//
+// Run with: go run ./examples/controller
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/rwc"
+)
+
+func main() {
+	// Physical topology: s -> m -> d, one wavelength per edge.
+	g := rwc.NewGraph()
+	s, m, d := g.AddNode("SEA"), g.AddNode("DEN"), g.AddNode("NYC")
+	g.AddEdge(rwc.Edge{From: s, To: m, Weight: 1})
+	g.AddEdge(rwc.Edge{From: m, To: d, Weight: 1})
+	linkNames := []string{"SEA-DEN", "DEN-NYC"}
+
+	ctrl, err := rwc.NewController(g, 100, rwc.ControllerConfig{
+		UpgradeHoldObservations: 2,
+		ChangeDowntime:          35 * time.Millisecond, // hitless BVTs
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One simulated transceiver per link, executing the orders.
+	transceivers := make([]*rwc.Transceiver, 2)
+	drivers := make([]*rwc.Driver, 2)
+	for i := range transceivers {
+		transceivers[i], err = rwc.NewTransceiver(rwc.TransceiverConfig{
+			InitialMode: 100, ChannelSNRdB: 17, HotCapable: true, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		drivers[i] = rwc.NewDriver(transceivers[i], nil)
+	}
+
+	// Telemetry collector: streams SNR samples over TCP.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := rwc.NewTelemetryServer(linkNames)
+	go func() {
+		if err := srv.Serve(ctx, "127.0.0.1:0"); err != nil {
+			log.Printf("telemetry server: %v", err)
+		}
+	}()
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	defer srv.Close()
+
+	client, err := rwc.DialTelemetry(ctx, srv.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	fmt.Printf("telemetry: subscribed to %v at %s\n\n", client.LinkNames(), srv.Addr())
+
+	// The SNR script: per round, per link.
+	script := [][]float64{
+		{17.0, 17.0}, // healthy
+		{17.0, 17.0}, // healthy (hysteresis satisfied)
+		{17.0, 17.0}, // demand grows → upgrades
+		{4.5, 17.0},  // amplifier degradation on SEA-DEN
+		{17.0, 17.0}, // repair → restore
+	}
+	demandPerRound := []float64{80, 80, 180, 180, 180}
+
+	for round := range script {
+		// Collector publishes; controller consumes over the wire.
+		for li, snr := range script[round] {
+			if err := srv.Publish(rwc.TelemetrySample{
+				LinkIndex: li, Time: time.Now(), SNRdB: snr,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for range script[round] {
+			if err := client.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+				log.Fatal(err)
+			}
+			sample, err := client.Next()
+			if err != nil {
+				log.Fatal(err)
+			}
+			transceivers[sample.LinkIndex].SetChannelSNR(sample.SNRdB)
+			if _, err := ctrl.ObserveSNR(rwc.EdgeID(sample.LinkIndex), sample.SNRdB); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		plan, err := ctrl.Step([]rwc.Demand{{Src: s, Dst: d, Volume: demandPerRound[round]}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %d (demand %.0fG): shipped %.0fG, %d orders\n",
+			round, demandPerRound[round], plan.Decision.Value, len(plan.Orders))
+
+		// Execute orders on the transceivers.
+		for _, o := range plan.Orders {
+			if o.To == 0 {
+				fmt.Printf("  %s: %v — link dark (%vG -> 0)\n", linkNames[o.Edge], o.Kind, o.From)
+				continue
+			}
+			rep, err := drivers[o.Edge].ChangeModulation(o.To, rwc.MethodHot)
+			if err != nil {
+				log.Fatalf("  %s: change failed: %v", linkNames[o.Edge], err)
+			}
+			fmt.Printf("  %s: %v %vG -> %vG (downtime %v)\n",
+				linkNames[o.Edge], o.Kind, o.From, o.To, rep.Downtime)
+		}
+	}
+
+	fmt.Println("\ntotal transceiver downtime across the whole scenario:")
+	for i, tr := range transceivers {
+		fmt.Printf("  %s: %v\n", linkNames[i], tr.Downtime())
+	}
+	fmt.Println("\nwith power-cycling transceivers each change would have cost ~68 s instead")
+}

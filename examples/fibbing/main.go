@@ -1,0 +1,88 @@
+// Fibbing demonstrates the connection the paper draws to Vissicchio et
+// al.'s Fibbing (SIGCOMM 2015): the augmented topology works even
+// WITHOUT a central TE. Advertise the fake link into a plain link-state
+// IGP with an attractive metric and distributed destination-based
+// routing pulls traffic onto it; the load the fake link attracts
+// translates into the same modulation-upgrade order a TE would emit.
+//
+// Run with: go run ./examples/fibbing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/igp"
+
+	"repro/rwc"
+)
+
+func main() {
+	// The Figure-7 square again, IGP metrics = 1 everywhere.
+	g := rwc.NewGraph()
+	nodes := map[string]rwc.NodeID{}
+	for _, n := range []string{"A", "B", "C", "D"} {
+		nodes[n] = g.AddNode(n)
+	}
+	top := rwc.NewTopology(g)
+	add := func(u, v string, upgradable bool) {
+		for _, p := range [][2]string{{u, v}, {v, u}} {
+			id := g.AddEdge(rwc.Edge{From: nodes[p[0]], To: nodes[p[1]], Capacity: 100, Weight: 1})
+			if upgradable {
+				if err := top.SetUpgrade(id, 100, 1); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	add("A", "B", true)
+	add("C", "D", true)
+	add("A", "C", false)
+	add("B", "D", false)
+
+	aug, err := rwc.Augment(top, rwc.PenaltyFromMatrix)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fibbing move: inject the A->B fake link into the LSDB with metric
+	// 0.9 — slightly better than the real link — so every router's SPF
+	// prefers it for A->B traffic.
+	fakeAB := aug.FakeFor[0]
+	lsdb := rwc.NewGraph()
+	lsdb.AddNodes(aug.Graph.NumNodes())
+	for _, e := range aug.Graph.Edges() {
+		w := e.Weight
+		if e.ID == fakeAB {
+			w = 0.9
+		}
+		lsdb.AddEdge(rwc.Edge{From: e.From, To: e.To, Capacity: e.Capacity, Weight: w})
+	}
+
+	rt, err := igp.ComputeRoutes(lsdb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("LSDB contains the fake A->B link at metric 0.9 (real links at 1.0)")
+
+	// 150 Gbps of destination-routed traffic A -> B.
+	load, err := rt.Forward(nodes["A"], nodes["B"], 150)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IGP forwarded 150 Gbps A->B; fake link attracted %.0f Gbps\n", load[fakeAB])
+	fmt.Printf("max link utilization before upgrade executes: %.2f (fake link is not real capacity yet!)\n",
+		rt.MaxUtilization(load))
+
+	// Translate the IGP load like any TE output.
+	dec, err := aug.Translate(rwc.FlowResult{Value: 150, EdgeFlow: load})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ch := range dec.Changes {
+		e := g.Edge(ch.Edge)
+		fmt.Printf("translated order: re-modulate %s->%s from %.0fG to %.0fG\n",
+			g.NodeName(e.From), g.NodeName(e.To), ch.OldCapacity, ch.NewCapacity)
+	}
+	fmt.Println("\nsame abstraction, no central TE: distributed SPF routing decided the upgrade")
+}

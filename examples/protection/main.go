@@ -1,0 +1,90 @@
+// Protection combines classic 1+1 protection routing with dynamic link
+// capacities: a premium flow gets an edge-disjoint working/protection
+// path pair (Suurballe), and when the working path's fiber degrades,
+// the link flaps to 50 Gbps instead of failing — so the premium flow
+// fails over while best-effort traffic keeps flowing on the degraded
+// link instead of being rerouted too.
+//
+// Run with: go run ./examples/protection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rwc"
+)
+
+func main() {
+	// A five-node ring with one chord — enough for disjoint paths.
+	g := rwc.NewGraph()
+	names := []string{"SEA", "SLC", "DEN", "CHI", "NYC"}
+	ids := make([]rwc.NodeID, len(names))
+	for i, n := range names {
+		ids[i] = g.AddNode(n)
+	}
+	edge := func(u, v int, w float64) rwc.EdgeID {
+		return g.AddEdge(rwc.Edge{From: ids[u], To: ids[v], Capacity: 100, Weight: w})
+	}
+	seaSLC := edge(0, 1, 7)
+	edge(1, 2, 5)  // SLC-DEN
+	edge(2, 3, 9)  // DEN-CHI
+	edge(3, 4, 8)  // CHI-NYC
+	edge(0, 3, 20) // SEA-CHI long way
+	edge(1, 4, 19) // SLC-NYC chord
+
+	ladder := rwc.DefaultLadder()
+
+	// 1. Protection routing for the premium flow SEA -> NYC.
+	pair, ok := g.EdgeDisjointShortestPair(ids[0], ids[4])
+	if !ok {
+		log.Fatal("no disjoint pair")
+	}
+	printPath := func(label string, p rwc.Path) {
+		fmt.Printf("%s:", label)
+		for _, n := range p.Nodes {
+			fmt.Printf(" %s", g.NodeName(n))
+		}
+		fmt.Printf("  (weight %.0f)\n", p.WeightOn(g))
+	}
+	printPath("working path   ", pair.Working)
+	printPath("protection path", pair.Protection)
+
+	// 2. The SEA-SLC fiber degrades: SNR falls from 14 dB to 4 dB.
+	fmt.Println("\nSEA-SLC amplifier degrades: SNR 14 dB -> 4 dB")
+	before, _ := ladder.FeasibleCapacity(14)
+	after, okAfter := ladder.FeasibleCapacity(4)
+	if !okAfter {
+		log.Fatal("link would be dark")
+	}
+	fmt.Printf("feasible capacity: %v Gbps -> %v Gbps (binary rule would declare it DOWN)\n",
+		before.Capacity, after.Capacity)
+	g.SetCapacity(seaSLC, float64(after.Capacity))
+
+	// 3. Premium flow fails over to the protection path if the working
+	//    path crosses the degraded link.
+	usesDegraded := func(p rwc.Path) bool {
+		for _, id := range p.Edges {
+			if id == seaSLC {
+				return true
+			}
+		}
+		return false
+	}
+	if usesDegraded(pair.Working) {
+		fmt.Println("premium flow: working path degraded -> switching to protection path")
+	} else {
+		fmt.Println("premium flow: working path unaffected")
+	}
+
+	// 4. Best-effort traffic keeps using the degraded link at 50 Gbps.
+	alloc, err := rwc.Greedy{}.Allocate(g, []rwc.Demand{
+		{Src: ids[0], Dst: ids[1], Volume: 60}, // SEA -> SLC best effort
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best-effort SEA->SLC: shipped %.0f of 60 Gbps over the degraded link\n",
+		alloc.Results[0].Shipped)
+	fmt.Println("\nwith the binary rule this traffic would have been rerouted or dropped entirely")
+}

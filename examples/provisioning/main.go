@@ -1,0 +1,101 @@
+// Provisioning shows the optical layer the paper's IP links rest on: a
+// fiber plant, lightpath provisioning with first-fit wavelength
+// assignment and QoT admission, and — the punchline — the automatic
+// export of the provisioned network as the Algorithm-1 input with the
+// upgrade matrices already filled in from each lightpath's SNR
+// headroom.
+//
+// Run with: go run ./examples/provisioning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rwc"
+)
+
+func main() {
+	// Fiber plant (lengths in km).
+	fibers := rwc.NewGraph()
+	sea := fibers.AddNode("SEA")
+	slc := fibers.AddNode("SLC")
+	den := fibers.AddNode("DEN")
+	chi := fibers.AddNode("CHI")
+	nyc := fibers.AddNode("NYC")
+	both := func(u, v rwc.NodeID, km float64) {
+		fibers.AddEdge(rwc.Edge{From: u, To: v, Weight: km})
+		fibers.AddEdge(rwc.Edge{From: v, To: u, Weight: km})
+	}
+	both(sea, slc, 1120)
+	both(slc, den, 600)
+	both(den, chi, 1480)
+	both(chi, nyc, 1270)
+	both(sea, chi, 3300) // express route
+
+	optical, err := rwc.NewOpticalNetwork(fibers, rwc.OpticalConfig{Channels: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Provision the IP topology: wavelengths for each adjacency plus an
+	// express SEA-NYC wavelength.
+	fmt.Println("provisioning lightpaths (first-fit wavelength, QoT admission):")
+	for _, pair := range [][2]rwc.NodeID{
+		{sea, slc}, {slc, sea}, {slc, den}, {den, slc},
+		{den, chi}, {chi, den}, {chi, nyc}, {nyc, chi},
+		{sea, nyc}, {nyc, sea},
+	} {
+		lp, err := optical.Provision(pair[0], pair[1])
+		if err != nil {
+			log.Fatalf("provision %s->%s: %v",
+				fibers.NodeName(pair[0]), fibers.NodeName(pair[1]), err)
+		}
+		fmt.Printf("  λ%02d %s->%s: %4.0f km, SNR %4.1f dB, deployed %3.0fG, feasible %3.0fG\n",
+			lp.Channel, fibers.NodeName(lp.Src), fibers.NodeName(lp.Dst),
+			lp.LengthKm, lp.SNRdB, float64(lp.Capacity), float64(lp.Feasible))
+	}
+	fmt.Printf("spectrum utilization: %.1f%%\n\n", 100*optical.Utilization())
+
+	// Export the Algorithm-1 input: topology + upgrade matrices derived
+	// from QoT headroom.
+	top, mapping, err := optical.ToTopology(50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported TE input: %d IP links, %d upgradable\n",
+		top.G.NumEdges(), len(top.Upgrades))
+
+	// TE round: a big SEA->NYC demand.
+	aug, err := rwc.Augment(top, rwc.PenaltyFromMatrix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc, err := rwc.Greedy{}.Allocate(aug.Graph, []rwc.Demand{
+		{Src: sea, Dst: nyc, Volume: 250},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := aug.Translate(rwc.FlowResult{Value: alloc.Throughput, EdgeFlow: alloc.EdgeFlow})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTE shipped %.0f of 250 Gbps SEA->NYC; %d modulation upgrades ordered\n",
+		dec.Value, len(dec.Changes))
+
+	// Commit the upgrades to the optical layer.
+	if err := optical.ApplyDecision(dec, mapping); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlightpaths after the TE round:")
+	for _, lp := range optical.Lightpaths() {
+		marker := ""
+		if lp.Capacity > 100 {
+			marker = "  <- upgraded"
+		}
+		fmt.Printf("  λ%02d %s->%s: %3.0fG of %3.0fG feasible%s\n",
+			lp.Channel, fibers.NodeName(lp.Src), fibers.NodeName(lp.Dst),
+			float64(lp.Capacity), float64(lp.Feasible), marker)
+	}
+}

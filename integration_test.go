@@ -1,0 +1,278 @@
+package repro
+
+// integration_test.go drives the whole system end to end, crossing
+// every package boundary a deployment would: synthetic SNR generation →
+// telemetry streaming over TCP → the control loop → the graph
+// abstraction → an unmodified TE → transceiver reconfiguration; and
+// separately the optical provisioning loop (spectrum → topology →
+// TE decision → optical commit).
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/bvt"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/modulation"
+	"repro/internal/qot"
+	"repro/internal/snr"
+	"repro/internal/spectrum"
+	"repro/internal/te"
+	"repro/internal/telemetry"
+
+	"repro/rwc"
+)
+
+// TestEndToEndTelemetryControlLoop streams generated SNR over a real
+// TCP socket into the controller and verifies the closed loop: demand
+// growth triggers upgrades; an SNR dip triggers a flap, not an outage.
+func TestEndToEndTelemetryControlLoop(t *testing.T) {
+	// Physical topology: two links in a line.
+	g := rwc.NewGraph()
+	s, m, d := g.AddNode("s"), g.AddNode("m"), g.AddNode("d")
+	g.AddEdge(rwc.Edge{From: s, To: m, Weight: 1})
+	g.AddEdge(rwc.Edge{From: m, To: d, Weight: 1})
+
+	ctrl, err := controller.New(g, 100, controller.Config{UpgradeHoldObservations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := telemetry.NewServer([]string{"s-m", "m-d"})
+	serveErr := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { serveErr <- srv.Serve(ctx, "127.0.0.1:0") }()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Addr() == nil {
+		t.Fatal("server did not start")
+	}
+	defer func() {
+		srv.Close()
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+
+	client, err := telemetry.Dial(ctx, srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	feed := func(snrs [2]float64) {
+		t.Helper()
+		for li, v := range snrs {
+			// Retry publish until the subscriber is registered.
+			for {
+				if err := srv.Publish(telemetry.Sample{LinkIndex: li, Time: time.Now(), SNRdB: v}); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+		for range snrs {
+			if err := client.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+				t.Fatal(err)
+			}
+			sample, err := client.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ctrl.ObserveSNR(graph.EdgeID(sample.LinkIndex), sample.SNRdB); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Round 1: healthy, demand fits.
+	feed([2]float64{17, 17})
+	plan, err := ctrl.Step([]te.Demand{{Src: s, Dst: d, Volume: 80}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Orders) != 0 || plan.Decision.Value < 79.9 {
+		t.Fatalf("round 1: %d orders, shipped %v", len(plan.Orders), plan.Decision.Value)
+	}
+
+	// Round 2: demand outgrows static capacity → upgrades via the
+	// abstraction.
+	feed([2]float64{17, 17})
+	plan, err = ctrl.Step([]te.Demand{{Src: s, Dst: d, Volume: 180}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Decision.Value-180) > 1e-6 {
+		t.Fatalf("round 2 shipped %v", plan.Decision.Value)
+	}
+	upgrades := 0
+	for _, o := range plan.Orders {
+		if o.Kind == controller.OrderUpgrade {
+			upgrades++
+		}
+	}
+	if upgrades != 2 {
+		t.Fatalf("round 2 upgrades = %d", upgrades)
+	}
+
+	// Round 3: SNR collapse on link 0 → flap to 50, not darkness.
+	feed([2]float64{4.5, 17})
+	plan, err = ctrl.Step([]te.Demand{{Src: s, Dst: d, Volume: 180}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flapped := false
+	for _, o := range plan.Orders {
+		if o.Kind == controller.OrderForcedDowngrade && o.To == 50 {
+			flapped = true
+		}
+	}
+	if !flapped {
+		t.Fatalf("round 3: no flap in %+v", plan.Orders)
+	}
+	if plan.Decision.Value < 49.9 {
+		t.Fatalf("round 3: degraded link shipped only %v", plan.Decision.Value)
+	}
+}
+
+// TestEndToEndOpticalProvisioningToTE drives the optical loop: build a
+// fiber plant, provision the wavelengths, export the Algorithm-1 input,
+// solve TE, commit upgrades to the lightpaths, and re-check headroom.
+func TestEndToEndOpticalProvisioningToTE(t *testing.T) {
+	fibers := graph.New()
+	a, b, c := fibers.AddNode("A"), fibers.AddNode("B"), fibers.AddNode("C")
+	both := func(u, v graph.NodeID, km float64) {
+		fibers.AddEdge(graph.Edge{From: u, To: v, Weight: km})
+		fibers.AddEdge(graph.Edge{From: v, To: u, Weight: km})
+	}
+	both(a, b, 320)
+	both(b, c, 320)
+	both(a, c, 960)
+
+	net, err := spectrum.NewNetwork(fibers, spectrum.Config{Channels: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Provision the IP mesh: one wavelength per ordered pair.
+	pairs := [][2]graph.NodeID{{a, b}, {b, a}, {b, c}, {c, b}, {a, c}, {c, a}}
+	for _, p := range pairs {
+		if _, err := net.Provision(p[0], p[1]); err != nil {
+			t.Fatalf("provision %v: %v", p, err)
+		}
+	}
+	top, mapping, err := net.ToTopology(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, err := core.Augment(top, core.PenaltyFromMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := te.Greedy{}.Allocate(aug.Graph, []te.Demand{
+		{Src: a, Dst: c, Volume: 250},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := aug.Translate(graph.FlowResult{Value: alloc.Throughput, EdgeFlow: alloc.EdgeFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Value < 200 {
+		t.Fatalf("shipped %v of 250 — upgrades not exploited", dec.Value)
+	}
+	if len(dec.Changes) == 0 {
+		t.Fatal("no upgrades decided")
+	}
+	if err := net.ApplyDecision(dec, mapping); err != nil {
+		t.Fatal(err)
+	}
+	// Re-export: committed upgrades shrink the remaining headroom.
+	top2, _, err := net.ToTopology(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top2.Upgrades) >= len(top.Upgrades) {
+		t.Fatalf("headroom did not shrink: %d -> %d upgradable links",
+			len(top.Upgrades), len(top2.Upgrades))
+	}
+}
+
+// TestEndToEndBVTExecutesControllerOrders attaches transceivers to the
+// controller's links and executes a full scenario through the drivers,
+// cross-checking configured capacities against device state.
+func TestEndToEndBVTExecutesControllerOrders(t *testing.T) {
+	g := rwc.NewGraph()
+	s, d := g.AddNode("s"), g.AddNode("d")
+	g.AddEdge(rwc.Edge{From: s, To: d, Weight: 1})
+
+	ctrl, err := controller.New(g, 100, controller.Config{UpgradeHoldObservations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := bvt.New(bvt.Config{InitialMode: 100, ChannelSNRdB: 17, HotCapable: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := bvt.NewDriver(tr, nil)
+
+	// Demand growth → upgrade order → device change.
+	if _, err := ctrl.ObserveSNR(0, 17); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ctrl.Step([]te.Demand{{Src: s, Dst: d, Volume: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range plan.Orders {
+		if o.To == 0 {
+			continue
+		}
+		if _, err := drv.ChangeModulation(o.To, bvt.MethodHot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mode, ok := tr.Mode()
+	if !ok {
+		t.Fatal("device mode unknown")
+	}
+	cap0, err := ctrl.Configured(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modulation.Gbps(mode.Capacity) != cap0 {
+		t.Fatalf("device at %v, controller believes %v", mode.Capacity, cap0)
+	}
+	if !tr.LinkUp() {
+		t.Fatal("device down after executing the plan")
+	}
+}
+
+// TestQoTGroundsTheFleet cross-checks the two SNR sources: the QoT
+// budget for a typical long-haul length should land inside the
+// calibrated fleet prior's ±2σ band, tying the synthetic dataset to
+// physics.
+func TestQoTGroundsTheFleet(t *testing.T) {
+	prior := snr.DefaultFiberParams()
+	q := qot.Default()
+	// Typical long-haul lengths (the fleet prior is calibrated to the
+	// paper's continental backbone, dominated by 1000+ km routes).
+	for _, km := range []float64{1000, 1600, 2400} {
+		v, err := q.SNRdB(km)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := prior.BaselineMeandB - 2*prior.BaselineStddB
+		hi := prior.BaselineMeandB + 2*prior.BaselineStddB
+		if v < lo || v > hi {
+			t.Fatalf("QoT(%v km) = %v dB outside fleet prior band [%v, %v]", km, v, lo, hi)
+		}
+	}
+}

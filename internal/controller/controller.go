@@ -1,0 +1,431 @@
+// Package controller implements the operational control loop the paper
+// sketches but leaves implicit: a centralized WAN controller that
+// ingests per-link SNR telemetry, maintains the dynamic-capacity
+// topology, periodically re-runs an unmodified TE algorithm through the
+// §4 graph abstraction, and turns the TE output into transceiver
+// reconfiguration orders.
+//
+// The controller adds the operational safeguards a deployment needs on
+// top of the raw abstraction:
+//
+//   - hysteresis: a link must sustain the SNR for a higher rung for
+//     several consecutive observations before its upgrade is offered to
+//     TE (avoiding capacity oscillation on noisy links);
+//   - a downgrade margin: a link flaps down as soon as SNR falls within
+//     the margin of its current threshold (conservative availability);
+//   - pinned flows (§4.2(i)): traffic that must not be disturbed hides
+//     both its links' upgradability and its own capacity from TE;
+//   - consistent updates (§4.2(ii)): a three-state plan — reroute away
+//     from the links being re-modulated, reconfigure, converge — so no
+//     packet crosses a link mid-change.
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/modulation"
+	"repro/internal/te"
+)
+
+// OrderKind distinguishes reconfiguration causes.
+type OrderKind int
+
+const (
+	// OrderForcedDowngrade is an SNR-driven flap to a lower rung (the
+	// availability mechanism of §2.2).
+	OrderForcedDowngrade OrderKind = iota
+	// OrderUpgrade is a TE-decided capacity increase.
+	OrderUpgrade
+)
+
+// String names the kind.
+func (k OrderKind) String() string {
+	switch k {
+	case OrderForcedDowngrade:
+		return "forced-downgrade"
+	case OrderUpgrade:
+		return "upgrade"
+	default:
+		return fmt.Sprintf("OrderKind(%d)", int(k))
+	}
+}
+
+// Order is one modulation change the controller wants executed.
+type Order struct {
+	Edge     graph.EdgeID
+	Kind     OrderKind
+	From, To modulation.Gbps
+}
+
+// Plan is the output of one control-loop iteration.
+type Plan struct {
+	// Orders lists modulation changes, forced downgrades first.
+	Orders []Order
+	// Allocation is the TE result on the augmented topology.
+	Allocation *te.Allocation
+	// Decision is the translated capacity/flow decision.
+	Decision *core.Decision
+	// EstimatedDisruption is Σ over re-modulated links of (current
+	// traffic × per-change downtime).
+	EstimatedDisruption float64
+}
+
+// Config tunes the control loop.
+type Config struct {
+	// Ladder is the modulation ladder (default modulation.Default()).
+	Ladder *modulation.Ladder
+	// TE is the traffic-engineering algorithm (default te.Greedy).
+	TE te.Algorithm
+	// Penalty maps link state to augmentation costs (default
+	// core.PenaltyTrafficProportional).
+	Penalty core.PenaltyFunc
+	// UpgradeHoldObservations is how many consecutive SNR observations
+	// must support a higher rung before the upgrade is offered
+	// (default 3).
+	UpgradeHoldObservations int
+	// DowngradeMargindB flaps a link down when SNR < threshold +
+	// margin (default 0.5 dB).
+	DowngradeMargindB float64
+	// ChangeDowntime estimates per-change disruption (default 68 s;
+	// set 35 ms for hitless transceivers).
+	ChangeDowntime time.Duration
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Ladder == nil {
+		c.Ladder = modulation.Default()
+	}
+	if c.TE == nil {
+		c.TE = te.Greedy{}
+	}
+	if c.Penalty == nil {
+		c.Penalty = core.PenaltyTrafficProportional
+	}
+	if c.UpgradeHoldObservations <= 0 {
+		c.UpgradeHoldObservations = 3
+	}
+	if c.DowngradeMargindB == 0 {
+		c.DowngradeMargindB = 0.5
+	}
+	if c.ChangeDowntime == 0 {
+		c.ChangeDowntime = 68 * time.Second
+	}
+	return c
+}
+
+// linkState tracks one directed edge (= one wavelength, the paper's
+// 1:1 mapping).
+type linkState struct {
+	configured modulation.Gbps
+	// nominal is the baseline capacity the link is restored to (without
+	// hysteresis) as soon as SNR recovers after a forced downgrade.
+	// Raising capacity ABOVE nominal is an optimization and goes
+	// through hysteresis + TE.
+	nominal modulation.Gbps
+	snrdB   float64
+	// holdCount counts consecutive observations whose SNR supports a
+	// rung above the configured one.
+	holdCount int
+	// lastFlow is the most recent TE traffic on the edge, feeding the
+	// penalty function.
+	lastFlow float64
+	// pinned marks edges carrying undisturbable flows.
+	pinned bool
+	// pinnedCapacity is the capacity reserved by pinned flows.
+	pinnedCapacity float64
+}
+
+// pinnedFlow is a §4.2(i) flow that must not be disturbed.
+type pinnedFlow struct {
+	path   graph.Path
+	volume float64
+}
+
+// Controller is the control loop state.
+type Controller struct {
+	cfg   Config
+	g     *graph.Graph // physical topology; capacities = configured
+	links map[graph.EdgeID]*linkState
+	pins  []pinnedFlow
+	// damping and damp implement capacity-flap damping (see
+	// damping.go); nil when disabled.
+	damping *DampingConfig
+	damp    map[graph.EdgeID]*dampState
+	// maxChanges caps TE-decided upgrades per Step (0 = unlimited).
+	maxChanges int
+}
+
+// New builds a controller over a physical topology whose edges start at
+// the given capacity (typically 100 Gbps) with unknown (optimistic)
+// SNR. Edge capacities in g are overwritten by the controller.
+func New(g *graph.Graph, initial modulation.Gbps, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if g == nil {
+		return nil, fmt.Errorf("controller: nil graph")
+	}
+	if _, ok := cfg.Ladder.ModeFor(initial); !ok {
+		return nil, fmt.Errorf("controller: initial capacity %v not in ladder", initial)
+	}
+	c := &Controller{cfg: cfg, g: g, links: make(map[graph.EdgeID]*linkState)}
+	initTh, err := cfg.Ladder.ThresholdFor(initial)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range g.Edges() {
+		// Until telemetry arrives, assume the link is healthy at its
+		// configured rung (threshold plus the safety margin); the first
+		// real observation overwrites this.
+		c.links[e.ID] = &linkState{
+			configured: initial,
+			nominal:    initial,
+			snrdB:      initTh + cfg.DowngradeMargindB,
+		}
+		g.SetCapacity(e.ID, float64(initial))
+	}
+	return c, nil
+}
+
+// Configured returns the configured capacity of an edge.
+func (c *Controller) Configured(id graph.EdgeID) (modulation.Gbps, error) {
+	ls, ok := c.links[id]
+	if !ok {
+		return 0, fmt.Errorf("controller: unknown edge %d", int(id))
+	}
+	return ls.configured, nil
+}
+
+// ObserveSNR ingests one telemetry sample for an edge and updates the
+// hysteresis state. It returns the forced-downgrade order the sample
+// triggers, if any (the caller decides when to execute it; Step also
+// collects pending downgrades).
+func (c *Controller) ObserveSNR(id graph.EdgeID, snrdB float64) (*Order, error) {
+	ls, ok := c.links[id]
+	if !ok {
+		return nil, fmt.Errorf("controller: unknown edge %d", int(id))
+	}
+	ls.snrdB = snrdB
+
+	// Hysteresis accounting for upgrades: does this sample support a
+	// rung above the configured one (with margin)?
+	next, hasNext := c.cfg.Ladder.NextUp(ls.configured)
+	if hasNext && snrdB >= next.MinSNRdB+c.cfg.DowngradeMargindB {
+		ls.holdCount++
+	} else {
+		ls.holdCount = 0
+	}
+
+	// Forced downgrade: SNR within the margin of the current rung.
+	cur, ok := c.cfg.Ladder.ModeFor(ls.configured)
+	if ok && ls.configured > 0 && snrdB < cur.MinSNRdB+c.cfg.DowngradeMargindB {
+		target, feasible := c.cfg.Ladder.FeasibleCapacity(snrdB - c.cfg.DowngradeMargindB)
+		to := modulation.Gbps(0)
+		if feasible {
+			to = target.Capacity
+		}
+		if to < ls.configured {
+			return &Order{Edge: id, Kind: OrderForcedDowngrade, From: ls.configured, To: to}, nil
+		}
+	}
+	return nil, nil
+}
+
+// PinFlow registers a flow that must not be disturbed (§4.2(i)): the
+// links on its path are excluded from capacity changes and the flow's
+// capacity is hidden from the TE optimization.
+func (c *Controller) PinFlow(p graph.Path, volume float64) error {
+	if err := p.Validate(c.g); err != nil {
+		return err
+	}
+	if volume <= 0 {
+		return fmt.Errorf("controller: pinned flow needs positive volume")
+	}
+	for _, id := range p.Edges {
+		ls := c.links[id]
+		if float64(ls.configured)-ls.pinnedCapacity < volume {
+			return fmt.Errorf("controller: edge %d lacks %v Gbps for pinned flow", int(id), volume)
+		}
+	}
+	for _, id := range p.Edges {
+		c.links[id].pinned = true
+		c.links[id].pinnedCapacity += volume
+	}
+	c.pins = append(c.pins, pinnedFlow{path: p, volume: volume})
+	return nil
+}
+
+// UnpinAll releases every pinned flow.
+func (c *Controller) UnpinAll() {
+	for _, ls := range c.links {
+		ls.pinned = false
+		ls.pinnedCapacity = 0
+	}
+	c.pins = nil
+}
+
+// Step runs one control-loop iteration against the given demands:
+// forced downgrades are applied, the augmented topology is built from
+// hysteresis-qualified headroom, the TE runs, and the translation
+// becomes upgrade orders. The returned plan has already been applied to
+// the controller's configured state.
+func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
+	plan := &Plan{}
+	c.decayDamping()
+
+	// 1. Apply pending forced downgrades based on the latest SNR.
+	for _, e := range c.g.Edges() {
+		ls := c.links[e.ID]
+		if ls.pinned {
+			continue // §4.2(i): links under pinned flows do not change
+		}
+		// Restore toward nominal as soon as SNR allows: recovering a
+		// degraded or dark link is not an optimization, so it bypasses
+		// hysteresis (capacity ABOVE nominal still requires it). Flap
+		// damping still applies — a link oscillating around a threshold
+		// must not restore on every swing.
+		if ls.configured < ls.nominal && c.upgradeAllowed(e.ID) {
+			if m, feasible := c.cfg.Ladder.FeasibleCapacity(ls.snrdB - c.cfg.DowngradeMargindB); feasible {
+				target := m.Capacity
+				if target > ls.nominal {
+					target = ls.nominal
+				}
+				if target > ls.configured {
+					plan.Orders = append(plan.Orders, Order{
+						Edge: e.ID, Kind: OrderUpgrade, From: ls.configured, To: target,
+					})
+					plan.EstimatedDisruption += ls.lastFlow * c.cfg.ChangeDowntime.Seconds()
+					ls.configured = target
+					c.chargeDamping(e.ID)
+				}
+			}
+		}
+		cur, ok := c.cfg.Ladder.ModeFor(ls.configured)
+		if !ok || ls.configured == 0 {
+			continue
+		}
+		if ls.snrdB < cur.MinSNRdB+c.cfg.DowngradeMargindB {
+			target, feasible := c.cfg.Ladder.FeasibleCapacity(ls.snrdB - c.cfg.DowngradeMargindB)
+			to := modulation.Gbps(0)
+			if feasible {
+				to = target.Capacity
+			}
+			if to < ls.configured {
+				plan.Orders = append(plan.Orders, Order{
+					Edge: e.ID, Kind: OrderForcedDowngrade, From: ls.configured, To: to,
+				})
+				plan.EstimatedDisruption += ls.lastFlow * c.cfg.ChangeDowntime.Seconds()
+				ls.configured = to
+				ls.holdCount = 0
+				c.chargeDamping(e.ID)
+			}
+		}
+	}
+
+	// 2+3. Build the TE input (pinned capacity hidden; hysteresis and
+	//      flap damping gate upgrade headroom), augment, run the
+	//      unmodified TE, translate.
+	alloc, dec, err := c.runTE(demands, c.upgradeAllowed)
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. Enforce the per-round change budget: if the TE wants more
+	//    upgrades than allowed, keep the ones enabling the most new
+	//    traffic and re-run the TE restricted to them (the original
+	//    flow would be infeasible without the dropped upgrades).
+	if c.maxChanges > 0 && len(dec.Changes) > c.maxChanges {
+		var candidates []Order
+		flowOnFake := make(map[graph.EdgeID]float64, len(dec.Changes))
+		for _, ch := range dec.Changes {
+			candidates = append(candidates, Order{
+				Edge: ch.Edge, Kind: OrderUpgrade,
+				From: c.links[ch.Edge].configured, To: modulation.Gbps(ch.NewCapacity),
+			})
+			flowOnFake[ch.Edge] = ch.FlowOnFake
+		}
+		kept := c.applyChangeBudget(candidates, flowOnFake)
+		keptSet := make(map[graph.EdgeID]bool, len(kept))
+		for _, o := range kept {
+			keptSet[o.Edge] = true
+		}
+		alloc, dec, err = c.runTE(demands, func(id graph.EdgeID) bool {
+			return keptSet[id] && c.upgradeAllowed(id)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	plan.Allocation = alloc
+	plan.Decision = dec
+
+	// Commit TE-decided upgrades as orders.
+	for _, ch := range dec.Changes {
+		ls := c.links[ch.Edge]
+		// Upgrades on pinned links are filtered in runTE, so the
+		// visible capacity in ch equals the configured capacity here.
+		to := modulation.Gbps(ch.NewCapacity)
+		plan.Orders = append(plan.Orders, Order{
+			Edge: ch.Edge, Kind: OrderUpgrade, From: ls.configured, To: to,
+		})
+		plan.EstimatedDisruption += ls.lastFlow * c.cfg.ChangeDowntime.Seconds()
+		ls.configured = to
+		ls.holdCount = 0
+		c.chargeDamping(ch.Edge)
+	}
+
+	// 5. Record flows for the next round's penalties and restore the
+	//    graph to the committed configured capacities.
+	for _, e := range c.g.Edges() {
+		ls := c.links[e.ID]
+		ls.lastFlow = dec.EdgeFlow[e.ID]
+		c.g.SetCapacity(e.ID, float64(ls.configured))
+	}
+	return plan, nil
+}
+
+// runTE builds the augmented topology (honoring pins, hysteresis, and
+// the allowUpgrade filter), runs the TE, and translates the result.
+func (c *Controller) runTE(demands []te.Demand, allowUpgrade func(graph.EdgeID) bool) (*te.Allocation, *core.Decision, error) {
+	top := core.NewTopology(c.g)
+	for _, e := range c.g.Edges() {
+		ls := c.links[e.ID]
+		visible := float64(ls.configured) - ls.pinnedCapacity
+		if visible < 0 {
+			visible = 0
+		}
+		c.g.SetCapacity(e.ID, visible)
+		if err := top.SetTraffic(e.ID, ls.lastFlow); err != nil {
+			return nil, nil, err
+		}
+		if ls.pinned || ls.holdCount < c.cfg.UpgradeHoldObservations {
+			continue
+		}
+		if allowUpgrade != nil && !allowUpgrade(e.ID) {
+			continue
+		}
+		// Headroom up to the highest hysteresis-supported rung.
+		m, feasible := c.cfg.Ladder.FeasibleCapacity(ls.snrdB - c.cfg.DowngradeMargindB)
+		if !feasible || m.Capacity <= ls.configured {
+			continue
+		}
+		if err := top.SetUpgrade(e.ID, float64(m.Capacity-ls.configured), 1); err != nil {
+			return nil, nil, err
+		}
+	}
+	aug, err := core.Augment(top, c.cfg.Penalty)
+	if err != nil {
+		return nil, nil, err
+	}
+	alloc, err := c.cfg.TE.Allocate(aug.Graph, demands)
+	if err != nil {
+		return nil, nil, err
+	}
+	dec, err := aug.Translate(graph.FlowResult{Value: alloc.Throughput, EdgeFlow: alloc.EdgeFlow})
+	if err != nil {
+		return nil, nil, err
+	}
+	return alloc, dec, nil
+}

@@ -1,0 +1,130 @@
+package controller
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Operational safeguards beyond the plain §4 loop: a per-round change
+// budget (each modulation change costs ~68 s of downtime on today's
+// hardware, so operators cap churn) and BGP-style flap damping for
+// links whose SNR oscillates around a threshold.
+
+// DampingConfig tunes capacity-flap damping. A link accumulates
+// penalty on every capacity change; while its penalty exceeds
+// SuppressThreshold the controller refuses *upgrades* on it (forced
+// downgrades always execute — availability first). Penalty decays
+// multiplicatively every Step.
+type DampingConfig struct {
+	// PenaltyPerChange is added on each executed change (default 1000).
+	PenaltyPerChange float64
+	// SuppressThreshold suppresses upgrades while exceeded (default
+	// 2500 — i.e. roughly three changes in quick succession).
+	SuppressThreshold float64
+	// ReuseThreshold re-enables upgrades once the decayed penalty
+	// falls below it (default 1000).
+	ReuseThreshold float64
+	// DecayFactor multiplies the penalty each Step (default 0.7).
+	DecayFactor float64
+}
+
+// withDefaults fills zero values.
+func (d DampingConfig) withDefaults() DampingConfig {
+	if d.PenaltyPerChange == 0 {
+		d.PenaltyPerChange = 1000
+	}
+	if d.SuppressThreshold == 0 {
+		d.SuppressThreshold = 2500
+	}
+	if d.ReuseThreshold == 0 {
+		d.ReuseThreshold = 1000
+	}
+	if d.DecayFactor == 0 {
+		d.DecayFactor = 0.7
+	}
+	return d
+}
+
+// dampState is per-link damping bookkeeping.
+type dampState struct {
+	penalty    float64
+	suppressed bool
+}
+
+// EnableDamping turns on flap damping with the given configuration.
+// Must be called before the first Step.
+func (c *Controller) EnableDamping(d DampingConfig) {
+	d = d.withDefaults()
+	c.damping = &d
+	c.damp = make(map[graph.EdgeID]*dampState, len(c.links))
+	for id := range c.links {
+		c.damp[id] = &dampState{}
+	}
+}
+
+// SetMaxChangesPerRound caps the number of TE-decided upgrades executed
+// per Step (0 = unlimited). Forced downgrades are never capped. When
+// the TE wants more upgrades than the budget, the ones carrying the
+// most new traffic win.
+func (c *Controller) SetMaxChangesPerRound(n int) { c.maxChanges = n }
+
+// Suppressed reports whether upgrades on the edge are currently damped.
+func (c *Controller) Suppressed(id graph.EdgeID) bool {
+	if c.damp == nil {
+		return false
+	}
+	st, ok := c.damp[id]
+	return ok && st.suppressed
+}
+
+// decayDamping advances the damping clocks; called once per Step.
+func (c *Controller) decayDamping() {
+	if c.damping == nil {
+		return
+	}
+	for _, st := range c.damp {
+		st.penalty *= c.damping.DecayFactor
+		if st.suppressed && st.penalty < c.damping.ReuseThreshold {
+			st.suppressed = false
+		}
+	}
+}
+
+// chargeDamping records an executed change on an edge.
+func (c *Controller) chargeDamping(id graph.EdgeID) {
+	if c.damping == nil {
+		return
+	}
+	st := c.damp[id]
+	st.penalty += c.damping.PenaltyPerChange
+	if st.penalty >= c.damping.SuppressThreshold {
+		st.suppressed = true
+	}
+}
+
+// upgradeAllowed applies damping to upgrade decisions.
+func (c *Controller) upgradeAllowed(id graph.EdgeID) bool {
+	if c.damp == nil {
+		return true
+	}
+	return !c.damp[id].suppressed
+}
+
+// applyChangeBudget trims a set of TE-decided upgrade orders to the
+// per-round budget, preferring the ones whose fake-edge flow (new
+// traffic enabled) is largest. Returns the kept orders.
+func (c *Controller) applyChangeBudget(orders []Order, flowOnFake map[graph.EdgeID]float64) []Order {
+	if c.maxChanges <= 0 || len(orders) <= c.maxChanges {
+		return orders
+	}
+	sorted := append([]Order(nil), orders...)
+	sort.Slice(sorted, func(i, j int) bool {
+		fi, fj := flowOnFake[sorted[i].Edge], flowOnFake[sorted[j].Edge]
+		if fi != fj {
+			return fi > fj
+		}
+		return sorted[i].Edge < sorted[j].Edge
+	})
+	return sorted[:c.maxChanges]
+}

@@ -1,0 +1,133 @@
+// Package core implements the paper's primary contribution (§4): a
+// graph abstraction that lets *unmodified* traffic-engineering
+// algorithms exploit dynamic link capacities.
+//
+// The WAN topology G⟨V,E,U,P⟩ carries, per physical link e, the extra
+// capacity U(e) its current SNR could support and the penalty P(e) of
+// activating that upgrade (the service interruption caused by a
+// modulation change). Algorithm 1 augments G with a *fake link* per
+// upgradable edge, annotated ⟨capacity, penalty⟩. A TE algorithm run on
+// the augmented graph G′ produces a flow whose fake-edge usage *is* the
+// set of capacity upgrades to perform (Theorem 1: min-cost max-flow on
+// G′ ≡ max-flow on G with dynamic capacities).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Upgrade describes the dynamic-capacity headroom of one physical link:
+// the matrices U and P of Algorithm 1, row (v,w).
+type Upgrade struct {
+	// ExtraCapacity is U[v,w]: how much capacity the link's SNR allows
+	// on top of its currently configured capacity. Zero means the link
+	// cannot be upgraded.
+	ExtraCapacity float64
+	// Penalty is P[v,w]: the cost of activating the upgrade, reflecting
+	// the traffic disrupted while the transceiver re-modulates. The TE
+	// operator sets it as conservatively or aggressively as desired
+	// (§4.2).
+	Penalty float64
+}
+
+// Topology is the TE input G⟨V,E,U,P⟩: the IP-layer graph plus the
+// upgrade matrices. Edges of G are physical links with their *current*
+// capacities.
+type Topology struct {
+	// G holds the physical topology. Edge capacities are the currently
+	// configured capacities; edge costs are ignored (the augmentation
+	// assigns them); edge weights are the routing metric.
+	G *graph.Graph
+	// Upgrades maps a physical edge to its dynamic-capacity headroom.
+	// Edges absent from the map cannot be upgraded.
+	Upgrades map[graph.EdgeID]Upgrade
+	// Traffic optionally records the current flow on each physical
+	// edge, used by the traffic-proportional penalty function. May be
+	// nil.
+	Traffic map[graph.EdgeID]float64
+}
+
+// NewTopology wraps a graph with empty upgrade/traffic annotations.
+func NewTopology(g *graph.Graph) *Topology {
+	return &Topology{
+		G:        g,
+		Upgrades: make(map[graph.EdgeID]Upgrade),
+		Traffic:  make(map[graph.EdgeID]float64),
+	}
+}
+
+// SetUpgrade records that edge id can gain extra capacity at the given
+// penalty. A non-positive extra capacity removes the entry.
+func (t *Topology) SetUpgrade(id graph.EdgeID, extra, penalty float64) error {
+	if !t.G.HasEdge(id) {
+		return fmt.Errorf("core: unknown edge %d", int(id))
+	}
+	if penalty < 0 {
+		return fmt.Errorf("core: negative penalty %v on edge %d", penalty, int(id))
+	}
+	if extra <= 0 {
+		delete(t.Upgrades, id)
+		return nil
+	}
+	t.Upgrades[id] = Upgrade{ExtraCapacity: extra, Penalty: penalty}
+	return nil
+}
+
+// SetTraffic records the current traffic on edge id (for penalty
+// functions).
+func (t *Topology) SetTraffic(id graph.EdgeID, traffic float64) error {
+	if !t.G.HasEdge(id) {
+		return fmt.Errorf("core: unknown edge %d", int(id))
+	}
+	if traffic < 0 {
+		return fmt.Errorf("core: negative traffic %v on edge %d", traffic, int(id))
+	}
+	t.Traffic[id] = traffic
+	return nil
+}
+
+// FullCapacityGraph returns a copy of G with every upgradable edge set
+// to its maximum capacity (current + extra). This is "G with dynamic
+// capacities" — the right-hand side of Theorem 1.
+func (t *Topology) FullCapacityGraph() *graph.Graph {
+	g := t.G.Clone()
+	for id, up := range t.Upgrades {
+		g.SetCapacity(id, g.Edge(id).Capacity+up.ExtraCapacity)
+	}
+	return g
+}
+
+// PenaltyFunc computes, for a physical edge and its upgrade entry, the
+// per-unit-flow cost to assign to the real edge and to the fake edge in
+// the augmented graph. Algorithm 1's default sets the real edge cost to
+// zero and the fake edge cost to P[v,w]; the comment in the algorithm
+// notes it "can be adapted for other penalty functions, e.g., Fig. 7c".
+type PenaltyFunc func(real graph.Edge, up Upgrade, currentTraffic float64) (realCost, fakeCost float64)
+
+// PenaltyFromMatrix is Algorithm 1 verbatim: real edges cost 0, fake
+// edges cost the configured penalty P[v,w].
+func PenaltyFromMatrix(_ graph.Edge, up Upgrade, _ float64) (float64, float64) {
+	return 0, up.Penalty
+}
+
+// PenaltyTrafficProportional implements the paper's suggested default
+// (§4.2): "using the current link traffic as a penalty function" — the
+// more traffic a link carries, the more disruptive its modulation
+// change, so its fake edge costs more. The configured penalty acts as a
+// floor so idle links still carry a nonzero reconfiguration cost.
+func PenaltyTrafficProportional(_ graph.Edge, up Upgrade, currentTraffic float64) (float64, float64) {
+	c := currentTraffic
+	if up.Penalty > c {
+		c = up.Penalty
+	}
+	return 0, c
+}
+
+// PenaltyUnitWeights is Figure 7c's "short paths" mode: every edge —
+// real and fake — costs one unit per hop, so the TE favours short paths
+// at all costs and capacity changes carry no extra charge.
+func PenaltyUnitWeights(_ graph.Edge, _ Upgrade, _ float64) (float64, float64) {
+	return 1, 1
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// CapacityChange is one physical-link upgrade instructed by the TE
+// output (step 3a of the construction: "decisions about which link
+// capacities should be modified").
+type CapacityChange struct {
+	// Edge is the physical edge in the original topology.
+	Edge graph.EdgeID
+	// OldCapacity and NewCapacity are the configured capacities before
+	// and after the modulation change.
+	OldCapacity, NewCapacity float64
+	// Penalty is the activation penalty P[v,w] from the upgrade matrix.
+	Penalty float64
+	// FlowOnFake is how much of the TE flow actually rides the upgrade.
+	FlowOnFake float64
+}
+
+// Decision is the translated TE output: which links to upgrade and the
+// flow assignment expressed on the *physical* topology (step 3b: "the
+// flow-paths of the current traffic demands").
+type Decision struct {
+	// Changes lists the capacity upgrades, ascending by edge ID.
+	Changes []CapacityChange
+	// EdgeFlow is the combined (real + fake) flow per physical edge,
+	// indexed by the original topology's edge IDs.
+	EdgeFlow []float64
+	// Value is the total flow shipped.
+	Value float64
+	// PenaltyCost is the TE-charged cost of the assignment on G′.
+	PenaltyCost float64
+}
+
+// Translate converts a flow result computed on the augmented graph G′
+// back into physical-topology terms. The TE algorithm never saw the
+// dynamic capacities; this is where its output becomes (a) modulation
+// changes and (b) flows on real links.
+func (a *Augmentation) Translate(res graph.FlowResult) (*Decision, error) {
+	if len(res.EdgeFlow) != a.Graph.NumEdges() {
+		return nil, fmt.Errorf("core: flow result has %d edges, augmented graph has %d",
+			len(res.EdgeFlow), a.Graph.NumEdges())
+	}
+	t := a.Topology
+	d := &Decision{
+		EdgeFlow:    make([]float64, t.G.NumEdges()),
+		Value:       res.Value,
+		PenaltyCost: res.Cost,
+	}
+	// Real edges share IDs with the original topology (gadgetized ones
+	// have zero capacity in G′ and therefore zero flow here).
+	for id := 0; id < t.G.NumEdges(); id++ {
+		d.EdgeFlow[id] = res.EdgeFlow[id]
+	}
+	// Gadget middle edges carry the base-capacity share of their link.
+	for realID, gi := range a.gadgets {
+		d.EdgeFlow[realID] += res.EdgeFlow[gi.midReal]
+	}
+	// Fake-edge flow maps onto the physical link and, if positive,
+	// instructs an upgrade.
+	for fakeID, realID := range a.FakeOf {
+		f := res.EdgeFlow[fakeID]
+		if f <= graph.Eps {
+			continue
+		}
+		d.EdgeFlow[realID] += f
+		up := t.Upgrades[realID]
+		e := t.G.Edge(realID)
+		d.Changes = append(d.Changes, CapacityChange{
+			Edge:        realID,
+			OldCapacity: e.Capacity,
+			NewCapacity: e.Capacity + up.ExtraCapacity,
+			Penalty:     up.Penalty,
+			FlowOnFake:  f,
+		})
+	}
+	sort.Slice(d.Changes, func(i, j int) bool { return d.Changes[i].Edge < d.Changes[j].Edge })
+	return d, nil
+}
+
+// ApplyTo returns a copy of the physical graph with the decision's
+// capacity changes applied — the topology the network converges to
+// after the modulation changes complete.
+func (d *Decision) ApplyTo(g *graph.Graph) *graph.Graph {
+	out := g.Clone()
+	for _, ch := range d.Changes {
+		out.SetCapacity(ch.Edge, ch.NewCapacity)
+	}
+	return out
+}
+
+// TotalActivationPenalty sums the activation penalties of all changes
+// (the operator-facing disruption estimate, as opposed to the TE's
+// per-unit PenaltyCost).
+func (d *Decision) TotalActivationPenalty() float64 {
+	var p float64
+	for _, ch := range d.Changes {
+		p += ch.Penalty
+	}
+	return p
+}
+
+// PathFlows decomposes the decision's physical edge flow into paths
+// from src to dst on the upgraded topology — what a tunnel-based TE
+// controller would program.
+func (d *Decision) PathFlows(t *Topology, src, dst graph.NodeID) ([]graph.PathFlow, error) {
+	g := d.ApplyTo(t.G)
+	return g.DecomposeFlow(src, dst, d.EdgeFlow)
+}
+
+// MinimizeActivations post-processes a min-cost max-flow result on the
+// augmented graph, greedily dropping activated fake edges whose traffic
+// can be re-routed without losing flow value or increasing cost. This
+// realizes Figure 7b's "few increases" objective even when per-unit
+// penalties tie (the fixed-charge version of the problem is NP-hard, so
+// a greedy pass is the practical choice). It returns a flow result on
+// the same augmented graph.
+func (a *Augmentation) MinimizeActivations(src, dst graph.NodeID, res graph.FlowResult) (graph.FlowResult, error) {
+	if len(res.EdgeFlow) != a.Graph.NumEdges() {
+		return graph.FlowResult{}, fmt.Errorf("core: flow result size mismatch")
+	}
+	type activation struct {
+		fake graph.EdgeID
+		flow float64
+	}
+	current := res
+	disabled := make(map[graph.EdgeID]bool)
+	for {
+		var acts []activation
+		for fakeID := range a.FakeOf {
+			if disabled[fakeID] {
+				continue
+			}
+			if f := current.EdgeFlow[fakeID]; f > graph.Eps {
+				acts = append(acts, activation{fake: fakeID, flow: f})
+			}
+		}
+		// Try the least-used activation first.
+		sort.Slice(acts, func(i, j int) bool {
+			if acts[i].flow != acts[j].flow {
+				return acts[i].flow < acts[j].flow
+			}
+			return acts[i].fake < acts[j].fake
+		})
+		improved := false
+		for _, act := range acts {
+			trial := a.Graph.Clone()
+			for id := range disabled {
+				trial.SetCapacity(id, 0)
+			}
+			trial.SetCapacity(act.fake, 0)
+			alt, err := trial.MinCostFlow(src, dst, math.Inf(1))
+			if err != nil {
+				return graph.FlowResult{}, err
+			}
+			if alt.Value+graph.Eps >= current.Value && alt.Cost <= current.Cost+graph.Eps {
+				disabled[act.fake] = true
+				current = alt
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return current, nil
+		}
+	}
+}

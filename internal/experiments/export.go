@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Machine-readable exports of experiment tables, for plotting pipelines
+// (the paper's figures are plots; CSV feeds gnuplot/matplotlib, and
+// Markdown feeds docs).
+
+// RenderCSV writes the table as CSV: a header row of column names, then
+// the data rows. Notes become trailing comment-like rows prefixed with
+// "#note" in the first cell so spreadsheet imports keep them visible
+// without breaking the rectangle.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		rec := make([]string, len(t.Columns))
+		if len(rec) == 0 {
+			rec = []string{""}
+		}
+		rec[0] = "#note: " + n
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored Markdown table
+// with the title as a heading and notes as a list.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s\n\n", t.Title); err != nil {
+		return err
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = esc(c)
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = esc(row[i])
+			}
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	if len(t.Notes) > 0 {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		for _, n := range t.Notes {
+			if _, err := fmt.Fprintf(w, "- %s\n", n); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

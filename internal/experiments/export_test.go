@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func exportTable() *Table {
+	return &Table{
+		Title:   "t",
+		Columns: []string{"a", "b|c"},
+		Rows:    [][]string{{"1", "2"}, {"with,comma", "x|y"}},
+		Notes:   []string{"hello"},
+	}
+}
+
+func TestRenderCSVParsesBack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportTable().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 { // header + 2 rows + 1 note
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[0][0] != "a" || records[0][1] != "b|c" {
+		t.Fatalf("header = %v", records[0])
+	}
+	if records[2][0] != "with,comma" {
+		t.Fatalf("comma cell mangled: %v", records[2])
+	}
+	if !strings.HasPrefix(records[3][0], "#note: ") {
+		t.Fatalf("note row = %v", records[3])
+	}
+}
+
+func TestRenderMarkdownShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportTable().RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "## t\n") {
+		t.Fatalf("missing heading: %q", out)
+	}
+	if !strings.Contains(out, "| a | b\\|c |") {
+		t.Fatalf("header not escaped: %q", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Fatalf("separator missing: %q", out)
+	}
+	if !strings.Contains(out, "x\\|y") {
+		t.Fatalf("cell pipe not escaped: %q", out)
+	}
+	if !strings.Contains(out, "- hello") {
+		t.Fatalf("note missing: %q", out)
+	}
+}
+
+func TestRenderMarkdownRaggedRow(t *testing.T) {
+	tab := &Table{Title: "x", Columns: []string{"a", "b"}, Rows: [][]string{{"only-one"}}}
+	var buf bytes.Buffer
+	if err := tab.RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| only-one |  |") {
+		t.Fatalf("ragged row not padded: %q", buf.String())
+	}
+}
+
+func TestRenderCSVAllFigures(t *testing.T) {
+	// Every experiment's table must survive both exports.
+	o := quick()
+	res7, err := Figure7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res6, err := Figure6b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range []*Table{res7.Table(), res6.Table()} {
+		var buf bytes.Buffer
+		if err := tab.RenderCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := csv.NewReader(&buf).ReadAll(); err != nil {
+			t.Fatalf("%s: CSV does not parse back: %v", tab.Title, err)
+		}
+		buf.Reset()
+		if err := tab.RenderMarkdown(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

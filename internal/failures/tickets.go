@@ -1,0 +1,170 @@
+package failures
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Ticket is one operator failure ticket: an unplanned outage with a
+// manually assigned root cause, as analyzed in §2.2 (250 events over
+// seven months).
+type Ticket struct {
+	Cause Cause
+	// Duration is the outage length.
+	Duration time.Duration
+}
+
+// TicketModel is the calibrated generative model of operator tickets.
+// The paper's published shares:
+//
+//   - maintenance-window events: ≈25% of tickets, ≈20% of outage time;
+//   - fiber cuts: ≈5% of tickets, ≈10% of outage time;
+//   - the remainder split between hardware failures and undocumented
+//     causes ("over 90% of link failure events present an opportunity"
+//     — i.e. everything except fiber cuts).
+//
+// Frequency shares steer the categorical draw; per-cause log-normal
+// mean durations are solved so the duration shares come out right
+// (share_duration ∝ share_frequency × mean_duration).
+type TicketModel struct {
+	// FreqShare[c] is the probability a ticket has cause c.
+	FreqShare [NumCauses]float64
+	// MeanHours[c] is the mean outage duration for cause c.
+	MeanHours [NumCauses]float64
+	// SigmaLog is the log-normal shape parameter for durations.
+	SigmaLog float64
+}
+
+// DefaultTicketModel returns the calibration matching Figure 4a/4b.
+// With frequencies (.25, .05, .30, .40) and mean durations solved from
+// duration shares (.20, .10, .40, .30):
+//
+//	mean_c ∝ durShare_c / freqShare_c → (0.8, 2.0, 1.333, 0.75) × u
+//
+// scaled so the overall mean outage is ≈ 5 h (failures "last for
+// several hours", Figure 3b).
+func DefaultTicketModel() TicketModel {
+	freq := [NumCauses]float64{0.25, 0.05, 0.30, 0.40}
+	durShare := [NumCauses]float64{0.20, 0.10, 0.40, 0.30}
+	var m TicketModel
+	m.FreqShare = freq
+	// Unnormalized means.
+	var meanAcc float64
+	for c := 0; c < NumCauses; c++ {
+		m.MeanHours[c] = durShare[c] / freq[c]
+		meanAcc += freq[c] * m.MeanHours[c]
+	}
+	// Scale so overall mean is 5 hours.
+	const overallMean = 5.0
+	for c := 0; c < NumCauses; c++ {
+		m.MeanHours[c] *= overallMean / meanAcc
+	}
+	m.SigmaLog = 0.6
+	return m
+}
+
+// Validate reports whether the model is usable.
+func (m TicketModel) Validate() error {
+	var sum float64
+	for c := 0; c < NumCauses; c++ {
+		if m.FreqShare[c] < 0 {
+			return fmt.Errorf("failures: negative frequency share for %v", Cause(c))
+		}
+		if m.MeanHours[c] <= 0 {
+			return fmt.Errorf("failures: non-positive mean duration for %v", Cause(c))
+		}
+		sum += m.FreqShare[c]
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("failures: frequency shares sum to %v, want 1", sum)
+	}
+	if m.SigmaLog < 0 {
+		return fmt.Errorf("failures: negative SigmaLog")
+	}
+	return nil
+}
+
+// Generate draws n tickets from the model.
+func (m TicketModel) Generate(n int, r *rng.Source) ([]Ticket, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("failures: negative ticket count %d", n)
+	}
+	weights := m.FreqShare[:]
+	out := make([]Ticket, n)
+	for i := range out {
+		c := Cause(r.Categorical(weights))
+		// Log-normal with the target mean: mean = exp(mu + sigma²/2).
+		mu := math.Log(m.MeanHours[c]) - m.SigmaLog*m.SigmaLog/2
+		hours := r.LogNormal(mu, m.SigmaLog)
+		out[i] = Ticket{Cause: c, Duration: time.Duration(hours * float64(time.Hour))}
+	}
+	return out, nil
+}
+
+// CauseShares summarizes a ticket set: the fraction of events and the
+// fraction of total outage duration attributable to each cause —
+// exactly the two bar charts of Figures 4a and 4b.
+type CauseShares struct {
+	// EventShare[c] is the fraction of tickets with cause c.
+	EventShare [NumCauses]float64
+	// DurationShare[c] is the fraction of total outage time.
+	DurationShare [NumCauses]float64
+	// Total counts tickets; TotalDuration sums outage time.
+	Total         int
+	TotalDuration time.Duration
+}
+
+// Summarize computes cause shares over a ticket set.
+func Summarize(tickets []Ticket) CauseShares {
+	var s CauseShares
+	s.Total = len(tickets)
+	var durByCause [NumCauses]time.Duration
+	for _, t := range tickets {
+		if t.Cause < 0 || int(t.Cause) >= NumCauses {
+			continue
+		}
+		s.EventShare[t.Cause]++
+		durByCause[t.Cause] += t.Duration
+		s.TotalDuration += t.Duration
+	}
+	if s.Total > 0 {
+		for c := 0; c < NumCauses; c++ {
+			s.EventShare[c] /= float64(s.Total)
+		}
+	}
+	if s.TotalDuration > 0 {
+		for c := 0; c < NumCauses; c++ {
+			s.DurationShare[c] = float64(durByCause[c]) / float64(s.TotalDuration)
+		}
+	}
+	return s
+}
+
+// OpportunityEventShare returns the fraction of tickets that are *not*
+// fiber cuts — the paper's "over 90% of link failure events present an
+// opportunity to harness the lowered capacity".
+func (s CauseShares) OpportunityEventShare() float64 {
+	return 1 - s.EventShare[CauseFiberCut]
+}
+
+// AssignCause draws a root cause for a detected failure, conditioned on
+// whether it was a loss-of-light event. Fiber cuts always kill the
+// light; partial impairments never get classified as cuts. The
+// conditional weights are derived from the model's marginal shares and
+// the loss-of-light fraction so that the overall mix stays calibrated.
+func (m TicketModel) AssignCause(lossOfLight bool, r *rng.Source) Cause {
+	if lossOfLight {
+		// Cuts plus the share of hardware failures that kill the laser
+		// outright (transponder/amplifier shutdowns).
+		w := []float64{m.FreqShare[CauseMaintenance] * 0.3, m.FreqShare[CauseFiberCut], m.FreqShare[CauseHardware] * 0.5, m.FreqShare[CauseUndocumented] * 0.3}
+		return Cause(r.Categorical(w))
+	}
+	w := []float64{m.FreqShare[CauseMaintenance], 0, m.FreqShare[CauseHardware] * 0.5, m.FreqShare[CauseUndocumented]}
+	return Cause(r.Categorical(w))
+}

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// MinCostFlow computes a minimum-cost flow of up to limit units from
+// src to dst using successive shortest augmenting paths with Johnson
+// potentials. With limit = +Inf it returns the min-cost *maximum* flow —
+// the computation Theorem 1 maps the augmented topology onto.
+//
+// Negative edge costs are allowed as long as the graph has no
+// negative-cost cycle of positive capacity (an error is returned if one
+// is reachable from src).
+func (g *Graph) MinCostFlow(src, dst NodeID, limit float64) (FlowResult, error) {
+	if !g.HasNode(src) || !g.HasNode(dst) {
+		return FlowResult{}, fmt.Errorf("graph: MinCostFlow endpoints invalid: %d -> %d", int(src), int(dst))
+	}
+	if src == dst {
+		return FlowResult{EdgeFlow: make([]float64, g.NumEdges())}, nil
+	}
+	if limit < 0 || math.IsNaN(limit) {
+		return FlowResult{}, fmt.Errorf("graph: MinCostFlow limit %v invalid", limit)
+	}
+
+	r := newResidual(g)
+	n := r.n
+
+	// Initial potentials via Bellman-Ford to accommodate negative costs.
+	pot := make([]float64, n)
+	{
+		dist, neg := g.BellmanFord(src)
+		if neg {
+			return FlowResult{}, fmt.Errorf("graph: negative-cost cycle reachable from source")
+		}
+		for i, d := range dist {
+			if math.IsInf(d, 1) {
+				pot[i] = 0 // unreachable; potential unused
+			} else {
+				pot[i] = d
+			}
+		}
+	}
+
+	dist := make([]float64, n)
+	prevArc := make([]int, n)
+	var total, totalCost float64
+
+	for total+Eps < limit {
+		// Dijkstra on reduced costs.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevArc[i] = -1
+		}
+		dist[src] = 0
+		pq := &dijkstraPQ{{node: src, dist: 0}}
+		done := make([]bool, n)
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(dijkstraItem)
+			u := it.node
+			if done[u] {
+				continue
+			}
+			done[u] = true
+			for _, a := range r.adj[u] {
+				if r.cap[a] <= Eps {
+					continue
+				}
+				v := r.head[a]
+				rc := r.cost[a] + pot[u] - pot[v]
+				if rc < 0 {
+					// Numerical slack: clamp tiny negatives.
+					if rc < -1e-6 {
+						return FlowResult{}, fmt.Errorf("graph: negative reduced cost %v (potential invariant broken)", rc)
+					}
+					rc = 0
+				}
+				if nd := dist[u] + rc; nd+Eps < dist[v] {
+					dist[v] = nd
+					prevArc[v] = a
+					heap.Push(pq, dijkstraItem{node: v, dist: nd})
+				}
+			}
+		}
+		if math.IsInf(dist[dst], 1) {
+			break // no augmenting path left
+		}
+		// Update potentials.
+		for i := range pot {
+			if !math.IsInf(dist[i], 1) {
+				pot[i] += dist[i]
+			}
+		}
+		// Find bottleneck along the path.
+		push := limit - total
+		for v := dst; v != src; {
+			a := prevArc[v]
+			if r.cap[a] < push {
+				push = r.cap[a]
+			}
+			v = r.from(a)
+		}
+		if push <= Eps {
+			break
+		}
+		// Apply.
+		for v := dst; v != src; {
+			a := prevArc[v]
+			r.cap[a] -= push
+			r.cap[a^1] += push
+			totalCost += push * r.cost[a]
+			v = r.from(a)
+		}
+		total += push
+	}
+
+	return FlowResult{Value: total, EdgeFlow: r.flows(g), Cost: totalCost}, nil
+}
+
+// MinCostMaxFlow returns the minimum-cost maximum flow from src to dst.
+func (g *Graph) MinCostMaxFlow(src, dst NodeID) (FlowResult, error) {
+	return g.MinCostFlow(src, dst, math.Inf(1))
+}
+
+// DecomposeFlow decomposes an edge-flow assignment into a set of
+// src→dst paths with per-path amounts (plus any cycles, which are
+// dropped). TE controllers need path-level output to program tunnels;
+// the core package's translation step (§4.1 step 3b) uses this.
+type PathFlow struct {
+	Path   Path
+	Amount float64
+}
+
+// DecomposeFlow performs a standard flow decomposition of edgeFlow on g
+// from src to dst. The input slice is not modified.
+func (g *Graph) DecomposeFlow(src, dst NodeID, edgeFlow []float64) ([]PathFlow, error) {
+	if len(edgeFlow) != g.NumEdges() {
+		return nil, fmt.Errorf("graph: edgeFlow has %d entries for %d edges", len(edgeFlow), g.NumEdges())
+	}
+	rem := append([]float64(nil), edgeFlow...)
+	var out []PathFlow
+	for {
+		// Walk greedily from src along positive-flow edges.
+		prevEdge := make([]EdgeID, g.NumNodes())
+		for i := range prevEdge {
+			prevEdge[i] = NoEdge
+		}
+		visited := make([]bool, g.NumNodes())
+		visited[src] = true
+		queue := []NodeID{src}
+		found := false
+		for len(queue) > 0 && !found {
+			u := queue[0]
+			queue = queue[1:]
+			for _, id := range g.Out(u) {
+				if rem[id] <= Eps {
+					continue
+				}
+				v := g.edges[id].To
+				if visited[v] {
+					continue
+				}
+				visited[v] = true
+				prevEdge[v] = id
+				if v == dst {
+					found = true
+					break
+				}
+				queue = append(queue, v)
+			}
+		}
+		if !found {
+			break
+		}
+		p := g.reconstruct(src, dst, prevEdge)
+		amount := math.Inf(1)
+		for _, id := range p.Edges {
+			if rem[id] < amount {
+				amount = rem[id]
+			}
+		}
+		if amount <= Eps {
+			break
+		}
+		for _, id := range p.Edges {
+			rem[id] -= amount
+		}
+		out = append(out, PathFlow{Path: p, Amount: amount})
+	}
+	return out, nil
+}

@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ShortestPathBFS returns a minimum-hop path from src to dst, or ok =
+// false if dst is unreachable. Edges with zero capacity are skipped.
+func (g *Graph) ShortestPathBFS(src, dst NodeID) (Path, bool) {
+	if !g.HasNode(src) || !g.HasNode(dst) {
+		return Path{}, false
+	}
+	if src == dst {
+		return Path{Nodes: []NodeID{src}}, true
+	}
+	prevEdge := make([]EdgeID, g.NumNodes())
+	for i := range prevEdge {
+		prevEdge[i] = NoEdge
+	}
+	visited := make([]bool, g.NumNodes())
+	visited[src] = true
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, id := range g.Out(u) {
+			e := g.edges[id]
+			if e.Capacity <= Eps || visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			prevEdge[e.To] = id
+			if e.To == dst {
+				return g.reconstruct(src, dst, prevEdge), true
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	return Path{}, false
+}
+
+// dijkstraItem is a priority-queue entry.
+type dijkstraItem struct {
+	node NodeID
+	dist float64
+}
+
+type dijkstraPQ []dijkstraItem
+
+func (q dijkstraPQ) Len() int            { return len(q) }
+func (q dijkstraPQ) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q dijkstraPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *dijkstraPQ) Push(x interface{}) { *q = append(*q, x.(dijkstraItem)) }
+func (q *dijkstraPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPathDijkstra returns a minimum-Weight path from src to dst,
+// skipping zero-capacity edges. All edge weights must be non-negative.
+func (g *Graph) ShortestPathDijkstra(src, dst NodeID) (Path, float64, bool) {
+	dist, prevEdge := g.dijkstraAll(src, func(e Edge) (float64, bool) {
+		if e.Capacity <= Eps {
+			return 0, false
+		}
+		return e.Weight, true
+	})
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, 0, false
+	}
+	return g.reconstruct(src, dst, prevEdge), dist[dst], true
+}
+
+// dijkstraAll runs Dijkstra from src using lengthOf to derive each
+// edge's length (or skip it). It panics on a negative length.
+func (g *Graph) dijkstraAll(src NodeID, lengthOf func(Edge) (float64, bool)) ([]float64, []EdgeID) {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	prevEdge := make([]EdgeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = NoEdge
+	}
+	dist[src] = 0
+	pq := &dijkstraPQ{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(dijkstraItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, id := range g.Out(u) {
+			e := g.edges[id]
+			l, ok := lengthOf(e)
+			if !ok {
+				continue
+			}
+			if l < -Eps {
+				panic(fmt.Sprintf("graph: negative edge length %v on edge %d", l, int(id)))
+			}
+			if l < 0 {
+				l = 0
+			}
+			if nd := dist[u] + l; nd+Eps < dist[e.To] {
+				dist[e.To] = nd
+				prevEdge[e.To] = id
+				heap.Push(pq, dijkstraItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist, prevEdge
+}
+
+// reconstruct builds a Path from the predecessor-edge array.
+func (g *Graph) reconstruct(src, dst NodeID, prevEdge []EdgeID) Path {
+	var rev []EdgeID
+	at := dst
+	for at != src {
+		id := prevEdge[at]
+		if id == NoEdge {
+			return Path{}
+		}
+		rev = append(rev, id)
+		at = g.edges[id].From
+	}
+	p := Path{Nodes: []NodeID{src}}
+	for i := len(rev) - 1; i >= 0; i-- {
+		p.Edges = append(p.Edges, rev[i])
+		p.Nodes = append(p.Nodes, g.edges[rev[i]].To)
+	}
+	return p
+}
+
+// BellmanFord computes single-source shortest distances by Cost
+// (allowing negative costs) over edges with positive capacity. It
+// returns the distance array and reports whether a negative cycle
+// reachable from src exists.
+func (g *Graph) BellmanFord(src NodeID) (dist []float64, negCycle bool) {
+	n := g.NumNodes()
+	dist = make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, e := range g.edges {
+			if e.Capacity <= Eps || math.IsInf(dist[e.From], 1) {
+				continue
+			}
+			if nd := dist[e.From] + e.Cost; nd+Eps < dist[e.To] {
+				dist[e.To] = nd
+				changed = true
+				if iter == n-1 {
+					return dist, true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist, false
+}
+
+// KShortestPaths returns up to k loopless minimum-Weight paths from src
+// to dst in ascending weight order (Yen's algorithm). Zero-capacity
+// edges are skipped. SWAN-style TE pre-computes k paths per demand pair
+// with exactly this.
+func (g *Graph) KShortestPaths(src, dst NodeID, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, _, ok := g.ShortestPathDijkstra(src, dst)
+	if !ok {
+		return nil
+	}
+	result := []Path{first}
+	var candidates []Path
+
+	for len(result) < k {
+		prev := result[len(result)-1]
+		// For each node in the previous path except the last, branch.
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spurNode := prev.Nodes[i]
+			rootEdges := prev.Edges[:i]
+
+			banned := make(map[EdgeID]bool)
+			// Ban edges that would recreate an already-found path with
+			// the same root.
+			for _, p := range result {
+				if len(p.Edges) > i && equalEdges(p.Edges[:i], rootEdges) {
+					banned[p.Edges[i]] = true
+				}
+			}
+			// Ban root nodes (loopless requirement).
+			bannedNodes := make(map[NodeID]bool)
+			for _, nd := range prev.Nodes[:i] {
+				bannedNodes[nd] = true
+			}
+
+			spurDist, spurPrev := g.dijkstraAll(spurNode, func(e Edge) (float64, bool) {
+				if e.Capacity <= Eps || banned[e.ID] || bannedNodes[e.From] || bannedNodes[e.To] {
+					return 0, false
+				}
+				return e.Weight, true
+			})
+			if math.IsInf(spurDist[dst], 1) {
+				continue
+			}
+			spur := g.reconstruct(spurNode, dst, spurPrev)
+			total := Path{
+				Edges: append(append([]EdgeID(nil), rootEdges...), spur.Edges...),
+				Nodes: append(append([]NodeID(nil), prev.Nodes[:i]...), spur.Nodes...),
+			}
+			if !containsPath(candidates, total) && !containsPath(result, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			wa, wb := candidates[a].WeightOn(g), candidates[b].WeightOn(g)
+			if wa != wb {
+				return wa < wb
+			}
+			return candidates[a].Len() < candidates[b].Len()
+		})
+		result = append(result, candidates[0])
+		candidates = candidates[1:]
+	}
+	return result
+}
+
+func equalEdges(a, b []EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []Path, p Path) bool {
+	for _, q := range ps {
+		if equalEdges(q.Edges, p.Edges) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reachable returns the set of nodes reachable from src over
+// positive-capacity edges.
+func (g *Graph) Reachable(src NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{src: true}
+	stack := []NodeID{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.Out(u) {
+			e := g.edges[id]
+			if e.Capacity <= Eps || seen[e.To] {
+				continue
+			}
+			seen[e.To] = true
+			stack = append(stack, e.To)
+		}
+	}
+	return seen
+}

@@ -1,0 +1,196 @@
+// Package igp implements a link-state interior gateway protocol
+// substrate: every router computes shortest-path-first routes over a
+// shared link-state database and forwards hop by hop with ECMP
+// splitting — the distributed routing world the paper's inspiration,
+// Fibbing (Vissicchio et al., SIGCOMM 2015), manipulates by injecting
+// fake topology.
+//
+// Its role in the reproduction is §4's claim made concrete for
+// networks WITHOUT a central TE: the augmented topology also works
+// when handed to plain IGP routing. A fake link with an attractive
+// metric pulls destination-based traffic onto itself; the flow it
+// attracts is read back as a modulation-upgrade instruction exactly
+// like a TE flow would be.
+package igp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// FIB is one router's forwarding table: for every destination, the set
+// of next-hop edges (ECMP over equal-cost shortest paths by Weight).
+type FIB struct {
+	// NextHops[dst] lists the out-edges on shortest paths to dst.
+	// Empty for unreachable destinations and for dst == self.
+	NextHops [][]graph.EdgeID
+}
+
+// RoutingTable holds every router's FIB over one LSDB snapshot.
+type RoutingTable struct {
+	fibs []FIB
+	g    *graph.Graph
+}
+
+// ComputeRoutes runs SPF at every node over the graph's Weight metric
+// (positive weights required; zero-capacity edges are ignored, matching
+// links withdrawn from the LSDB).
+func ComputeRoutes(g *graph.Graph) (*RoutingTable, error) {
+	if g == nil {
+		return nil, fmt.Errorf("igp: nil graph")
+	}
+	for _, e := range g.Edges() {
+		if e.Capacity > graph.Eps && e.Weight <= 0 {
+			return nil, fmt.Errorf("igp: edge %d has non-positive metric %v", int(e.ID), e.Weight)
+		}
+	}
+	n := g.NumNodes()
+	rt := &RoutingTable{g: g, fibs: make([]FIB, n)}
+	// For each destination, compute distance-to-dst from every node by
+	// running Dijkstra on the reversed graph, then collect ECMP next
+	// hops: edge (u,v) is a next hop of u toward dst iff
+	// dist(v) + w(u,v) == dist(u).
+	rev := reverse(g)
+	for dst := 0; dst < n; dst++ {
+		dist := dijkstraFrom(rev, graph.NodeID(dst))
+		for u := 0; u < n; u++ {
+			if rt.fibs[u].NextHops == nil {
+				rt.fibs[u].NextHops = make([][]graph.EdgeID, n)
+			}
+			if u == dst || math.IsInf(dist[u], 1) {
+				continue
+			}
+			for _, id := range g.Out(graph.NodeID(u)) {
+				e := g.Edge(id)
+				if e.Capacity <= graph.Eps {
+					continue
+				}
+				if !math.IsInf(dist[e.To], 1) && math.Abs(dist[e.To]+e.Weight-dist[u]) < 1e-9 {
+					rt.fibs[u].NextHops[dst] = append(rt.fibs[u].NextHops[dst], id)
+				}
+			}
+		}
+	}
+	return rt, nil
+}
+
+// reverse builds the edge-reversed graph (same IDs preserved via
+// parallel construction order).
+func reverse(g *graph.Graph) *graph.Graph {
+	r := graph.New()
+	r.AddNodes(g.NumNodes())
+	for _, e := range g.Edges() {
+		r.AddEdge(graph.Edge{From: e.To, To: e.From, Capacity: e.Capacity, Weight: e.Weight, Cost: e.Cost})
+	}
+	return r
+}
+
+// dijkstraFrom returns distances from src over Weight on positive-
+// capacity edges.
+func dijkstraFrom(g *graph.Graph, src graph.NodeID) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	visited := make([]bool, n)
+	for {
+		u := graph.NoNode
+		for v := 0; v < n; v++ {
+			if !visited[v] && !math.IsInf(dist[v], 1) &&
+				(u == graph.NoNode || dist[v] < dist[u]) {
+				u = graph.NodeID(v)
+			}
+		}
+		if u == graph.NoNode {
+			return dist
+		}
+		visited[u] = true
+		for _, id := range g.Out(u) {
+			e := g.Edge(id)
+			if e.Capacity <= graph.Eps {
+				continue
+			}
+			if nd := dist[u] + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+			}
+		}
+	}
+}
+
+// NextHops returns node u's ECMP next hops toward dst.
+func (rt *RoutingTable) NextHops(u, dst graph.NodeID) []graph.EdgeID {
+	if int(u) >= len(rt.fibs) || rt.fibs[u].NextHops == nil || int(dst) >= len(rt.fibs[u].NextHops) {
+		return nil
+	}
+	return rt.fibs[u].NextHops[dst]
+}
+
+// Forward injects volume at src toward dst and splits it over ECMP
+// next hops at every router, returning the per-edge load. It does NOT
+// enforce capacities (IGP routing is load-oblivious — that is exactly
+// the limitation TE exists to fix); callers compare loads against
+// capacities themselves. Returns an error if any portion of the
+// traffic reaches a router with no route (a blackhole).
+func (rt *RoutingTable) Forward(src, dst graph.NodeID, volume float64) ([]float64, error) {
+	if volume < 0 {
+		return nil, fmt.Errorf("igp: negative volume")
+	}
+	g := rt.g
+	load := make([]float64, g.NumEdges())
+	if volume == 0 || src == dst {
+		return load, nil
+	}
+	// Shortest-path DAG toward dst is acyclic, so process nodes in
+	// descending distance-to-dst order via memoized recursion.
+	arriving := make([]float64, g.NumNodes())
+	arriving[src] = volume
+	// Topological propagation: repeatedly push from nodes with
+	// pending traffic. The DAG property bounds iterations.
+	pending := []graph.NodeID{src}
+	for len(pending) > 0 {
+		u := pending[0]
+		pending = pending[1:]
+		amt := arriving[u]
+		if amt <= graph.Eps || u == dst {
+			continue
+		}
+		arriving[u] = 0
+		hops := rt.NextHops(u, dst)
+		if len(hops) == 0 {
+			return nil, fmt.Errorf("igp: blackhole at node %d toward %d", int(u), int(dst))
+		}
+		share := amt / float64(len(hops))
+		for _, id := range hops {
+			e := g.Edge(id)
+			load[id] += share
+			if arriving[e.To] <= graph.Eps && e.To != dst {
+				pending = append(pending, e.To)
+			}
+			arriving[e.To] += share
+		}
+	}
+	return load, nil
+}
+
+// MaxUtilization returns the highest load/capacity ratio of the given
+// load vector (+Inf if a loaded edge has zero capacity).
+func (rt *RoutingTable) MaxUtilization(load []float64) float64 {
+	worst := 0.0
+	for id, l := range load {
+		if l <= graph.Eps {
+			continue
+		}
+		c := rt.g.Edge(graph.EdgeID(id)).Capacity
+		if c <= graph.Eps {
+			return math.Inf(1)
+		}
+		if u := l / c; u > worst {
+			worst = u
+		}
+	}
+	return worst
+}

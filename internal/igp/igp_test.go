@@ -1,0 +1,259 @@
+package igp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// square builds the 4-node test topology with unit metrics.
+func square() (*graph.Graph, [4]graph.NodeID) {
+	g := graph.New()
+	a, b, c, d := g.AddNode("A"), g.AddNode("B"), g.AddNode("C"), g.AddNode("D")
+	both := func(u, v graph.NodeID, w float64) {
+		g.AddEdge(graph.Edge{From: u, To: v, Capacity: 100, Weight: w})
+		g.AddEdge(graph.Edge{From: v, To: u, Capacity: 100, Weight: w})
+	}
+	both(a, b, 1)
+	both(c, d, 1)
+	both(a, c, 1)
+	both(b, d, 1)
+	return g, [4]graph.NodeID{a, b, c, d}
+}
+
+func TestComputeRoutesNextHops(t *testing.T) {
+	g, n := square()
+	rt, err := ComputeRoutes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A -> B: direct edge is the single shortest next hop.
+	hops := rt.NextHops(n[0], n[1])
+	if len(hops) != 1 || g.Edge(hops[0]).To != n[1] {
+		t.Fatalf("A->B next hops: %v", hops)
+	}
+	// A -> D: two equal-cost 2-hop paths (via B and via C) → ECMP.
+	hops = rt.NextHops(n[0], n[3])
+	if len(hops) != 2 {
+		t.Fatalf("A->D ECMP next hops = %d, want 2", len(hops))
+	}
+	// Self: none.
+	if len(rt.NextHops(n[0], n[0])) != 0 {
+		t.Fatal("self next hops")
+	}
+}
+
+func TestComputeRoutesRejectsBadMetric(t *testing.T) {
+	g := graph.New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddEdge(graph.Edge{From: a, To: b, Capacity: 1, Weight: 0})
+	if _, err := ComputeRoutes(g); err == nil {
+		t.Fatal("zero metric accepted")
+	}
+	if _, err := ComputeRoutes(nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestComputeRoutesIgnoresDownLinks(t *testing.T) {
+	g, n := square()
+	// Take down the direct A-B adjacency (both directions).
+	g.SetCapacity(0, 0)
+	g.SetCapacity(1, 0)
+	rt, err := ComputeRoutes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := rt.NextHops(n[0], n[1])
+	if len(hops) != 1 || g.Edge(hops[0]).To != n[2] {
+		t.Fatalf("A->B should reroute via C: %v", hops)
+	}
+}
+
+func TestForwardConservesVolume(t *testing.T) {
+	g, n := square()
+	rt, err := ComputeRoutes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load, err := rt.Forward(n[0], n[3], 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Net flow into D equals 120.
+	var into float64
+	for _, id := range g.In(n[3]) {
+		into += load[id]
+	}
+	for _, id := range g.Out(n[3]) {
+		into -= load[id]
+	}
+	if math.Abs(into-120) > 1e-9 {
+		t.Fatalf("arrived %v", into)
+	}
+	// ECMP split: 60 via B, 60 via C.
+	var viaB, viaC float64
+	for id, l := range load {
+		e := g.Edge(graph.EdgeID(id))
+		if e.From == n[0] && e.To == n[1] {
+			viaB = l
+		}
+		if e.From == n[0] && e.To == n[2] {
+			viaC = l
+		}
+	}
+	if math.Abs(viaB-60) > 1e-9 || math.Abs(viaC-60) > 1e-9 {
+		t.Fatalf("split %v / %v, want 60/60", viaB, viaC)
+	}
+}
+
+func TestForwardBlackhole(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	rt, err := ComputeRoutes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Forward(a, b, 10); err == nil {
+		t.Fatal("blackhole not reported")
+	}
+}
+
+func TestForwardZeroAndSelf(t *testing.T) {
+	g, n := square()
+	rt, _ := ComputeRoutes(g)
+	if load, err := rt.Forward(n[0], n[3], 0); err != nil || sum(load) != 0 {
+		t.Fatal("zero volume misbehaved")
+	}
+	if load, err := rt.Forward(n[0], n[0], 50); err != nil || sum(load) != 0 {
+		t.Fatal("self forward misbehaved")
+	}
+	if _, err := rt.Forward(n[0], n[1], -1); err == nil {
+		t.Fatal("negative volume accepted")
+	}
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// TestFibbingPullsTrafficOntoFakeLink is the §4-meets-Fibbing
+// demonstration: augment the topology, give the fake link an attractive
+// IGP metric, and the *distributed* routing adopts it — its load reads
+// back as an upgrade instruction.
+func TestFibbingPullsTrafficOntoFakeLink(t *testing.T) {
+	g, n := square()
+	top := core.NewTopology(g)
+	// The A-B adjacency can double; its fake link will be advertised
+	// with a metric slightly better than the real one.
+	if err := top.SetUpgrade(0, 100, 1); err != nil { // A->B direction
+		t.Fatal(err)
+	}
+	aug, err := core.Augment(top, core.PenaltyFromMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fakeID := aug.FakeFor[0]
+	// Fibbing move: advertise the fake link at a lower metric so SPF
+	// prefers it. Rebuild the LSDB graph with the adjusted metric.
+	lsdb := graph.New()
+	lsdb.AddNodes(aug.Graph.NumNodes())
+	for _, ed := range aug.Graph.Edges() {
+		if ed.ID == fakeID {
+			ed.Weight = 0.5
+		}
+		lsdb.AddEdge(graph.Edge{From: ed.From, To: ed.To, Capacity: ed.Capacity, Weight: ed.Weight, Cost: ed.Cost})
+	}
+	rt, err := ComputeRoutes(lsdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load, err := rt.Forward(n[0], n[1], 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load[fakeID] < 149 {
+		t.Fatalf("fake link attracted only %v of 150", load[fakeID])
+	}
+	// Translate the IGP load exactly like a TE flow.
+	dec, err := aug.Translate(graph.FlowResult{Value: 150, EdgeFlow: load})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Changes) != 1 || dec.Changes[0].Edge != 0 || dec.Changes[0].NewCapacity != 200 {
+		t.Fatalf("IGP flow did not translate into the upgrade: %+v", dec.Changes)
+	}
+}
+
+// Property: forwarding over SPF next hops is loop-free — total load is
+// bounded by volume × (n-1) hops.
+func TestForwardLoopFreeProperty(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 25; trial++ {
+		g := graph.New()
+		const n = 9
+		g.AddNodes(n)
+		for i := 0; i < 30; i++ {
+			u, v := graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n))
+			if u == v {
+				continue
+			}
+			g.AddEdge(graph.Edge{From: u, To: v, Capacity: 10, Weight: r.Uniform(1, 5)})
+		}
+		rt, err := ComputeRoutes(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, dst := graph.NodeID(0), graph.NodeID(n-1)
+		if len(rt.NextHops(src, dst)) == 0 {
+			continue // unreachable
+		}
+		load, err := rt.Forward(src, dst, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum(load) > 100*float64(n-1)+1e-6 {
+			t.Fatalf("trial %d: total load %v suggests a loop", trial, sum(load))
+		}
+		// Conservation at intermediate nodes.
+		for v := 0; v < n; v++ {
+			if graph.NodeID(v) == src || graph.NodeID(v) == dst {
+				continue
+			}
+			var net float64
+			for _, id := range g.In(graph.NodeID(v)) {
+				net += load[id]
+			}
+			for _, id := range g.Out(graph.NodeID(v)) {
+				net -= load[id]
+			}
+			if math.Abs(net) > 1e-6 {
+				t.Fatalf("trial %d: conservation violated at %d: %v", trial, v, net)
+			}
+		}
+	}
+}
+
+func TestMaxUtilization(t *testing.T) {
+	g, n := square()
+	rt, _ := ComputeRoutes(g)
+	load, err := rt.Forward(n[0], n[3], 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60 on 100-capacity edges → 0.6.
+	if u := rt.MaxUtilization(load); math.Abs(u-0.6) > 1e-9 {
+		t.Fatalf("max utilization = %v", u)
+	}
+	if u := rt.MaxUtilization(make([]float64, g.NumEdges())); u != 0 {
+		t.Fatalf("empty load utilization = %v", u)
+	}
+}

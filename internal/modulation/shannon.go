@@ -1,0 +1,85 @@
+package modulation
+
+import (
+	"fmt"
+	"math"
+)
+
+// ShannonParams derives SNR thresholds from first principles instead
+// of taking them as hardware constants: a coherent transceiver running
+// at SymbolRateGBd on two polarizations with FEC of the given code
+// rate needs a per-polarization spectral efficiency of
+//
+//	SE = capacity / (2 · SymbolRateGBd · CodeRate)
+//
+// bits/symbol, and an AWGN channel supports SE at SNR ≥ 2^SE − 1
+// (Shannon), plus an implementation gap for real DSPs and FECs.
+//
+// This is the cross-check for DESIGN.md's calibration note: the
+// paper's published anchors (6.5 dB → 100 G, 3.0 dB → 50 G) should be
+// reproducible from plausible hardware parameters, and the unpublished
+// rungs should land near our assumed ladder.
+type ShannonParams struct {
+	// SymbolRateGBd is the baud rate (per polarization). Flex-rate
+	// 100–200 G transceivers of the paper's era ran ≈ 32 GBd.
+	SymbolRateGBd float64
+	// CodeRate is the FEC code rate (net/gross), typically ≈ 0.8 for
+	// 25% overhead SD-FEC.
+	CodeRate float64
+	// GapdB is the implementation gap to Shannon capacity.
+	GapdB float64
+}
+
+// DefaultShannonParams matches 2017-era coherent hardware.
+func DefaultShannonParams() ShannonParams {
+	return ShannonParams{SymbolRateGBd: 32, CodeRate: 0.8, GapdB: 2.0}
+}
+
+// Validate reports whether the parameters are usable.
+func (p ShannonParams) Validate() error {
+	switch {
+	case p.SymbolRateGBd <= 0:
+		return fmt.Errorf("modulation: non-positive symbol rate")
+	case p.CodeRate <= 0 || p.CodeRate > 1:
+		return fmt.Errorf("modulation: code rate %v outside (0,1]", p.CodeRate)
+	case p.GapdB < 0:
+		return fmt.Errorf("modulation: negative implementation gap")
+	}
+	return nil
+}
+
+// RequiredSNRdB returns the SNR needed to carry the given capacity.
+func (p ShannonParams) RequiredSNRdB(c Gbps) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if c <= 0 {
+		return 0, fmt.Errorf("modulation: non-positive capacity %v", c)
+	}
+	se := float64(c) / (2 * p.SymbolRateGBd * p.CodeRate)
+	snrLin := math.Pow(2, se) - 1
+	return SNRLinearToDB(snrLin) + p.GapdB, nil
+}
+
+// ShannonLadder builds a ladder for the standard capacity set with
+// thresholds derived from the parameters. Formats are assigned by the
+// nearest standard constellation for the spectral efficiency.
+func ShannonLadder(p ShannonParams) (*Ladder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	caps := []Gbps{50, 100, 125, 150, 175, 200}
+	formats := []Format{
+		FormatBPSK, FormatQPSK, FormatHybridQPSK8QAM,
+		Format8QAM, FormatHybrid8QAM16QAM, Format16QAM,
+	}
+	modes := make([]Mode, len(caps))
+	for i, c := range caps {
+		th, err := p.RequiredSNRdB(c)
+		if err != nil {
+			return nil, err
+		}
+		modes[i] = Mode{Capacity: c, Format: formats[i], MinSNRdB: th}
+	}
+	return NewLadder(modes)
+}

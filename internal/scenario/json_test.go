@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/controller"
+)
+
+const validJSON = `{
+  "nodes": ["SEA", "DEN", "NYC"],
+  "links": [
+    {"from": "SEA", "to": "DEN", "weight": 1, "bidir": true},
+    {"from": "DEN", "to": "NYC", "weight": 2}
+  ],
+  "rounds": 5,
+  "baseline_snr_db": 16,
+  "demands": [{"from": "SEA", "to": "NYC", "gbps": 80, "priority": 1}],
+  "events": [{"round": 2, "from": "SEA", "to": "DEN", "snr_db": 4.2}]
+}`
+
+func TestLoadJSONValid(t *testing.T) {
+	g, s, err := LoadJSON(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 3 { // bidir SEA-DEN (2) + one-way DEN-NYC
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if s.Rounds != 5 || s.BaselinedB != 16 {
+		t.Fatalf("script: %+v", s)
+	}
+	if len(s.Demands) != 1 || s.Demands[0].Volume != 80 || s.Demands[0].Priority != 1 {
+		t.Fatalf("demands: %+v", s.Demands)
+	}
+	if len(s.Events) != 1 || s.Events[0].Round != 2 || s.Events[0].SNRdB != 4.2 {
+		t.Fatalf("events: %+v", s.Events)
+	}
+	// The event must reference the SEA->DEN directed edge.
+	e := g.Edge(s.Events[0].Link)
+	if g.NodeName(e.From) != "SEA" || g.NodeName(e.To) != "DEN" {
+		t.Fatalf("event edge %s->%s", g.NodeName(e.From), g.NodeName(e.To))
+	}
+}
+
+func TestLoadJSONRunsEndToEnd(t *testing.T) {
+	g, s, err := LoadJSON(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand SEA->NYC traverses the degraded SEA-DEN link; both runs
+	// complete and dynamic wins.
+	dyn, bin, err := CompareDynamicBinary(g, 100, controller.Config{}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.MeanSatisfied < bin.MeanSatisfied {
+		t.Fatalf("dynamic %v < binary %v", dyn.MeanSatisfied, bin.MeanSatisfied)
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":         `{nope}`,
+		"unknown field":   `{"nodes": ["a"], "bogus": 1}`,
+		"no nodes":        `{"rounds": 3}`,
+		"dup node":        `{"nodes": ["a", "a"], "rounds": 1}`,
+		"unknown link":    `{"nodes": ["a"], "links": [{"from": "a", "to": "zz"}], "rounds": 1}`,
+		"dup link":        `{"nodes": ["a","b"], "links": [{"from":"a","to":"b"},{"from":"a","to":"b"}], "rounds": 1}`,
+		"unknown demand":  `{"nodes": ["a","b"], "links": [{"from":"a","to":"b"}], "rounds": 1, "demands": [{"from":"zz","to":"b","gbps":1}]}`,
+		"event no link":   `{"nodes": ["a","b"], "links": [{"from":"a","to":"b"}], "rounds": 2, "events": [{"round":1,"from":"b","to":"a","snr_db":5}]}`,
+		"event bad round": `{"nodes": ["a","b"], "links": [{"from":"a","to":"b"}], "rounds": 2, "events": [{"round":9,"from":"a","to":"b","snr_db":5}]}`,
+		"zero rounds":     `{"nodes": ["a","b"], "links": [{"from":"a","to":"b"}], "rounds": 0}`,
+		"self demand":     `{"nodes": ["a","b"], "links": [{"from":"a","to":"b"}], "rounds": 1, "demands": [{"from":"a","to":"a","gbps":1}]}`,
+	}
+	for name, in := range cases {
+		if _, _, err := LoadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadJSONDefaultsWeight(t *testing.T) {
+	g, _, err := LoadJSON(strings.NewReader(
+		`{"nodes": ["a","b"], "links": [{"from":"a","to":"b"}], "rounds": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edge(0).Weight != 1 {
+		t.Fatalf("default weight = %v", g.Edge(0).Weight)
+	}
+}

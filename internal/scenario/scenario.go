@@ -1,0 +1,205 @@
+// Package scenario drives the control loop through scripted SNR
+// timelines — degradations, cuts, recoveries at specific rounds — and
+// reports availability, throughput and churn. It is the chaos-testing
+// harness for the controller and the generator of the dynamic-vs-binary
+// comparisons in the availability analysis: the same script can be run
+// with the full modulation ladder (capacity flaps) and with a
+// single-rung ladder (today's binary up/down rule).
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/graph"
+	"repro/internal/modulation"
+	"repro/internal/te"
+)
+
+// Event sets a link's SNR from a given round onward.
+type Event struct {
+	// Round is when the event takes effect (0-based).
+	Round int
+	// Link is the affected edge.
+	Link graph.EdgeID
+	// SNRdB is the new SNR. Use snr.LossOfLightdB (0) for a cut.
+	SNRdB float64
+}
+
+// Script is a deterministic scenario.
+type Script struct {
+	// Rounds is the number of control-loop iterations.
+	Rounds int
+	// BaselinedB is the SNR of every link before any event touches it.
+	BaselinedB float64
+	// Events are applied in order; later events override earlier ones
+	// for the same link.
+	Events []Event
+	// Demands is the (fixed) traffic matrix.
+	Demands []te.Demand
+}
+
+// Validate checks the script against a topology.
+func (s Script) Validate(g *graph.Graph) error {
+	if s.Rounds <= 0 {
+		return fmt.Errorf("scenario: need >= 1 round")
+	}
+	for i, ev := range s.Events {
+		if ev.Round < 0 || ev.Round >= s.Rounds {
+			return fmt.Errorf("scenario: event %d at round %d outside [0,%d)", i, ev.Round, s.Rounds)
+		}
+		if !g.HasEdge(ev.Link) {
+			return fmt.Errorf("scenario: event %d references unknown edge %d", i, int(ev.Link))
+		}
+	}
+	for i, d := range s.Demands {
+		if err := d.Validate(g); err != nil {
+			return fmt.Errorf("scenario: demand %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RoundReport records one round.
+type RoundReport struct {
+	Round   int
+	Offered float64
+	Shipped float64
+	Orders  []controller.Order
+	// DarkLinks counts links at zero capacity; DegradedLinks counts
+	// links below their nominal capacity but still up.
+	DarkLinks, DegradedLinks int
+}
+
+// Report is a full scenario run.
+type Report struct {
+	Rounds []RoundReport
+	// TotalChanges counts modulation changes across the run.
+	TotalChanges int
+	// MeanSatisfied averages shipped/offered.
+	MeanSatisfied float64
+	// DarkLinkRounds and DegradedLinkRounds sum the per-round counts —
+	// the availability ledger.
+	DarkLinkRounds, DegradedLinkRounds int
+}
+
+// BinaryLadder returns a single-rung ladder: today's fixed capacity
+// with the binary up/down rule — the baseline the paper argues against.
+func BinaryLadder(capacity modulation.Gbps, thresholddB float64) (*modulation.Ladder, error) {
+	return modulation.NewLadder([]modulation.Mode{
+		{Capacity: capacity, Format: modulation.FormatQPSK, MinSNRdB: thresholddB},
+	})
+}
+
+// Run executes the script against a fresh controller on g. The
+// controller config's Ladder selects dynamic (full ladder) vs binary
+// (single rung) operation; initial is the starting capacity.
+func Run(g *graph.Graph, initial modulation.Gbps, cfg controller.Config, s Script) (*Report, error) {
+	return RunWith(g, initial, cfg, nil, s)
+}
+
+// RunWith is Run with a tuning hook applied to the fresh controller
+// before the first round — the place to enable flap damping or a
+// change budget.
+func RunWith(g *graph.Graph, initial modulation.Gbps, cfg controller.Config, tune func(*controller.Controller), s Script) (*Report, error) {
+	if err := s.Validate(g); err != nil {
+		return nil, err
+	}
+	work := g.Clone()
+	ctrl, err := controller.New(work, initial, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tune != nil {
+		tune(ctrl)
+	}
+
+	// Current SNR per link.
+	snrNow := make(map[graph.EdgeID]float64, work.NumEdges())
+	for _, e := range work.Edges() {
+		snrNow[e.ID] = s.BaselinedB
+	}
+
+	var offered float64
+	for _, d := range s.Demands {
+		offered += d.Volume
+	}
+
+	rep := &Report{}
+	var satSum float64
+	for round := 0; round < s.Rounds; round++ {
+		for _, ev := range s.Events {
+			if ev.Round == round {
+				snrNow[ev.Link] = ev.SNRdB
+			}
+		}
+		for _, e := range work.Edges() {
+			if _, err := ctrl.ObserveSNR(e.ID, snrNow[e.ID]); err != nil {
+				return nil, err
+			}
+		}
+		plan, err := ctrl.Step(s.Demands)
+		if err != nil {
+			return nil, err
+		}
+		rr := RoundReport{
+			Round:   round,
+			Offered: offered,
+			Shipped: plan.Decision.Value,
+			Orders:  plan.Orders,
+		}
+		for _, e := range work.Edges() {
+			cap, err := ctrl.Configured(e.ID)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case cap == 0:
+				rr.DarkLinks++
+			case cap < initial:
+				rr.DegradedLinks++
+			}
+		}
+		rep.Rounds = append(rep.Rounds, rr)
+		rep.TotalChanges += len(plan.Orders)
+		rep.DarkLinkRounds += rr.DarkLinks
+		rep.DegradedLinkRounds += rr.DegradedLinks
+		if offered > 0 {
+			satSum += rr.Shipped / offered
+		} else {
+			satSum++
+		}
+	}
+	rep.MeanSatisfied = satSum / float64(s.Rounds)
+	return rep, nil
+}
+
+// CompareDynamicBinary runs the same script twice: once with the full
+// modulation ladder (capacity flaps) and once with a binary single-rung
+// ladder (link down below threshold). The deltas quantify §2.2's
+// availability argument on an arbitrary scenario.
+func CompareDynamicBinary(g *graph.Graph, initial modulation.Gbps, cfg controller.Config, s Script) (dynamic, binary *Report, err error) {
+	dynCfg := cfg
+	if dynCfg.Ladder == nil {
+		dynCfg.Ladder = modulation.Default()
+	}
+	dynamic, err = Run(g, initial, dynCfg, s)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: dynamic run: %w", err)
+	}
+	th, err := dynCfg.Ladder.ThresholdFor(initial)
+	if err != nil {
+		return nil, nil, err
+	}
+	binLadder, err := BinaryLadder(initial, th)
+	if err != nil {
+		return nil, nil, err
+	}
+	binCfg := cfg
+	binCfg.Ladder = binLadder
+	binary, err = Run(g, initial, binCfg, s)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: binary run: %w", err)
+	}
+	return dynamic, binary, nil
+}

@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/graph"
+	"repro/internal/snr"
+	"repro/internal/te"
+)
+
+// ring builds a bidirectional 4-node ring.
+func ring() (*graph.Graph, []graph.NodeID) {
+	g := graph.New()
+	n := make([]graph.NodeID, 4)
+	for i := range n {
+		n[i] = g.AddNode(string(rune('a' + i)))
+	}
+	for i := range n {
+		j := (i + 1) % 4
+		g.AddEdge(graph.Edge{From: n[i], To: n[j], Weight: 1})
+		g.AddEdge(graph.Edge{From: n[j], To: n[i], Weight: 1})
+	}
+	return g, n
+}
+
+func TestScriptValidate(t *testing.T) {
+	g, n := ring()
+	good := Script{
+		Rounds:     5,
+		BaselinedB: 15,
+		Events:     []Event{{Round: 2, Link: 0, SNRdB: 4}},
+		Demands:    []te.Demand{{Src: n[0], Dst: n[2], Volume: 50}},
+	}
+	if err := good.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Rounds = 0
+	if err := bad.Validate(g); err == nil {
+		t.Fatal("0 rounds accepted")
+	}
+	bad = good
+	bad.Events = []Event{{Round: 99, Link: 0}}
+	if err := bad.Validate(g); err == nil {
+		t.Fatal("out-of-range round accepted")
+	}
+	bad = good
+	bad.Events = []Event{{Round: 1, Link: 99}}
+	if err := bad.Validate(g); err == nil {
+		t.Fatal("unknown edge accepted")
+	}
+	bad = good
+	bad.Demands = []te.Demand{{Src: n[0], Dst: n[0], Volume: 1}}
+	if err := bad.Validate(g); err == nil {
+		t.Fatal("invalid demand accepted")
+	}
+}
+
+func TestRunHealthyScriptShipsEverything(t *testing.T) {
+	g, n := ring()
+	rep, err := Run(g, 100, controller.Config{}, Script{
+		Rounds:     4,
+		BaselinedB: 15,
+		Demands:    []te.Demand{{Src: n[0], Dst: n[2], Volume: 120}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanSatisfied < 0.99 {
+		t.Fatalf("mean satisfied = %v", rep.MeanSatisfied)
+	}
+	if rep.DarkLinkRounds != 0 || rep.DegradedLinkRounds != 0 {
+		t.Fatalf("healthy run degraded: %+v", rep)
+	}
+}
+
+func TestRunDegradationProducesFlap(t *testing.T) {
+	g, n := ring()
+	rep, err := Run(g, 100, controller.Config{}, Script{
+		Rounds:     6,
+		BaselinedB: 15,
+		Events: []Event{
+			{Round: 2, Link: 0, SNRdB: 4.2}, // degrade to 50G territory
+			{Round: 4, Link: 0, SNRdB: 15},  // recover
+		},
+		Demands: []te.Demand{{Src: n[0], Dst: n[2], Volume: 60}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DegradedLinkRounds == 0 {
+		t.Fatal("no degraded rounds recorded")
+	}
+	if rep.DarkLinkRounds != 0 {
+		t.Fatal("flap went dark under dynamic operation")
+	}
+	// The flap (down) and restore (up) both count as changes.
+	if rep.TotalChanges < 2 {
+		t.Fatalf("changes = %d", rep.TotalChanges)
+	}
+	// Last round: recovered, nothing degraded.
+	last := rep.Rounds[len(rep.Rounds)-1]
+	if last.DegradedLinks != 0 {
+		t.Fatalf("link did not recover: %+v", last)
+	}
+}
+
+func TestRunCutGoesDark(t *testing.T) {
+	g, n := ring()
+	rep, err := Run(g, 100, controller.Config{}, Script{
+		Rounds:     4,
+		BaselinedB: 15,
+		Events:     []Event{{Round: 1, Link: 0, SNRdB: snr.LossOfLightdB}},
+		Demands:    []te.Demand{{Src: n[0], Dst: n[2], Volume: 60}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DarkLinkRounds == 0 {
+		t.Fatal("fiber cut did not darken the link")
+	}
+	// Ring redundancy: traffic survives via the other direction.
+	if rep.MeanSatisfied < 0.99 {
+		t.Fatalf("ring did not protect: %v", rep.MeanSatisfied)
+	}
+}
+
+func TestCompareDynamicBinaryAvailability(t *testing.T) {
+	// A degradation that dynamic turns into a 50G flap while binary
+	// goes dark. Use a line topology so the darkness hurts throughput.
+	g := graph.New()
+	s, d := g.AddNode("s"), g.AddNode("d")
+	g.AddEdge(graph.Edge{From: s, To: d, Weight: 1})
+	script := Script{
+		Rounds:     6,
+		BaselinedB: 15,
+		Events: []Event{
+			{Round: 2, Link: 0, SNRdB: 4.2},
+			{Round: 5, Link: 0, SNRdB: 15},
+		},
+		Demands: []te.Demand{{Src: s, Dst: d, Volume: 100}},
+	}
+	dynamic, binary, err := CompareDynamicBinary(g, 100, controller.Config{}, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dynamic.DarkLinkRounds != 0 {
+		t.Fatalf("dynamic went dark: %+v", dynamic)
+	}
+	if binary.DarkLinkRounds == 0 {
+		t.Fatalf("binary did not go dark: %+v", binary)
+	}
+	if dynamic.MeanSatisfied <= binary.MeanSatisfied {
+		t.Fatalf("dynamic satisfied %v <= binary %v",
+			dynamic.MeanSatisfied, binary.MeanSatisfied)
+	}
+	// During the degraded rounds dynamic ships 50, binary ships 0.
+	if dynamic.Rounds[3].Shipped < 49 {
+		t.Fatalf("dynamic degraded round shipped %v", dynamic.Rounds[3].Shipped)
+	}
+	if binary.Rounds[3].Shipped > 1 {
+		t.Fatalf("binary degraded round shipped %v", binary.Rounds[3].Shipped)
+	}
+}
+
+func TestBinaryLadderSingleRung(t *testing.T) {
+	l, err := BinaryLadder(100, 6.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Modes()) != 1 {
+		t.Fatal("binary ladder has extra rungs")
+	}
+	if _, ok := l.FeasibleCapacity(6.4); ok {
+		t.Fatal("binary ladder feasible below threshold")
+	}
+	if m, ok := l.FeasibleCapacity(20); !ok || m.Capacity != 100 {
+		t.Fatal("binary ladder wrong above threshold")
+	}
+}
+
+func TestRunDoesNotMutateInputGraph(t *testing.T) {
+	g, n := ring()
+	before := g.Edges()
+	if _, err := Run(g, 100, controller.Config{}, Script{
+		Rounds: 2, BaselinedB: 15,
+		Demands: []te.Demand{{Src: n[0], Dst: n[1], Volume: 10}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := g.Edges()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("edge %d mutated", i)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package snr
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestGenerateFiberShape(t *testing.T) {
+	fp := DefaultFiberParams()
+	f, err := GenerateFiber(fp, samplesPerYear/4, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 40 {
+		t.Fatalf("wavelengths = %d", len(f.Series))
+	}
+	for i, s := range f.Series {
+		if len(s.Samples) != samplesPerYear/4 {
+			t.Fatalf("wavelength %d has %d samples", i, len(s.Samples))
+		}
+	}
+}
+
+func TestGenerateFiberValidation(t *testing.T) {
+	fp := DefaultFiberParams()
+	fp.Wavelengths = 0
+	if _, err := GenerateFiber(fp, 100, rng.New(1)); err == nil {
+		t.Fatal("0 wavelengths should error")
+	}
+	fp = DefaultFiberParams()
+	if _, err := GenerateFiber(fp, 0, rng.New(1)); err == nil {
+		t.Fatal("0 samples should error")
+	}
+	fp = DefaultFiberParams()
+	fp.FiberLossOfLightProb = 2
+	if _, err := GenerateFiber(fp, 100, rng.New(1)); err == nil {
+		t.Fatal("bad probability should error")
+	}
+}
+
+func TestGenerateFiberDeterministic(t *testing.T) {
+	fp := DefaultFiberParams()
+	fp.Wavelengths = 4
+	a, _ := GenerateFiber(fp, 2000, rng.New(9))
+	b, _ := GenerateFiber(fp, 2000, rng.New(9))
+	for w := range a.Series {
+		for i := range a.Series[w].Samples {
+			if a.Series[w].Samples[i] != b.Series[w].Samples[i] {
+				t.Fatalf("wavelength %d diverged at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestFiberBaselinesSpread(t *testing.T) {
+	fp := DefaultFiberParams()
+	f, _ := GenerateFiber(fp, 1000, rng.New(3))
+	baselines := make([]float64, len(f.Series))
+	for i, s := range f.Series {
+		baselines[i] = s.BaselinedB
+	}
+	sum, _ := stats.Summarize(baselines)
+	// Prior is N(15.9, 1.5); 40 draws should center nearby and spread.
+	if sum.Mean < 14.5 || sum.Mean > 17.5 {
+		t.Fatalf("baseline mean = %v", sum.Mean)
+	}
+	if sum.Std < 0.5 {
+		t.Fatalf("baselines too concentrated: std = %v", sum.Std)
+	}
+}
+
+func TestFiberLevelDipsShared(t *testing.T) {
+	fp := DefaultFiberParams()
+	fp.Wavelengths = 10
+	fp.FiberDipsPerYear = 8 // force events
+	fp.Wavelength.DipsPerYear = 0
+	f, _ := GenerateFiber(fp, samplesPerYear, rng.New(5))
+	if len(f.FiberDips) == 0 {
+		t.Skip("no fiber events drawn at this seed") // statistically ~0 chance
+	}
+	// Every wavelength must contain each fiber-level event window.
+	for _, fd := range f.FiberDips {
+		for w, s := range f.Series {
+			found := false
+			for _, d := range s.Dips {
+				if d.FiberLevel && d.Start <= fd.Start && d.End >= min(fd.End, len(s.Samples)) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("wavelength %d missing fiber event %+v", w, fd)
+			}
+		}
+	}
+}
+
+func TestFiberLossOfLightHitsAllWavelengths(t *testing.T) {
+	fp := DefaultFiberParams()
+	fp.Wavelengths = 5
+	fp.FiberDipsPerYear = 6
+	fp.FiberLossOfLightProb = 1 // all fiber events are cuts
+	fp.Wavelength.DipsPerYear = 0
+	f, _ := GenerateFiber(fp, samplesPerYear, rng.New(7))
+	if len(f.FiberDips) == 0 {
+		t.Fatal("expected fiber events at 6/year")
+	}
+	cut := f.FiberDips[0]
+	mid := (cut.Start + cut.End) / 2
+	for w, s := range f.Series {
+		if mid < len(s.Samples) && s.Samples[mid] != LossOfLightdB {
+			t.Fatalf("wavelength %d not dark during fiber cut: %v", w, s.Samples[mid])
+		}
+	}
+}
+
+func TestDefaultFiberParamsValid(t *testing.T) {
+	if err := DefaultFiberParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

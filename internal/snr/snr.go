@@ -1,0 +1,289 @@
+// Package snr models the signal-to-noise ratio of optical wavelengths
+// over time. It is the synthetic stand-in for the paper's proprietary
+// telemetry: 15-minute SNR samples for every wavelength ("IP link") of a
+// large optical backbone over 2.5 years (§2.1).
+//
+// The generative model is calibrated so the paper's published aggregate
+// statistics emerge from the process (see internal/dataset):
+//
+//   - each wavelength has a stable baseline SNR with small AR(1) jitter
+//     and a slow seasonal drift, so its 95% highest-density region is
+//     narrow (83% of links < 2 dB in the paper);
+//   - rare impairment events ("dips") — maintenance accidents, amplifier
+//     or transponder failures, fiber cuts — depress the SNR sharply for
+//     hours, producing the wide max−min ranges (average ≈ 12 dB) and the
+//     link failures of §2.2. A fraction of dips are complete
+//     loss-of-light (fiber cut-like), flooring the SNR;
+//   - wavelengths riding the same fiber share fiber-level events, which
+//     is why Figure 1's forty series dip together.
+package snr
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// SampleInterval is the telemetry cadence used throughout the paper.
+const SampleInterval = 15 * time.Minute
+
+// LossOfLightdB is the floor value recorded when the receiver loses the
+// signal entirely. SNR is undefined without light; operators' telemetry
+// reports a floor value, and the paper's Figure 4c shows failure-event
+// SNRs extending down to 0 dB.
+const LossOfLightdB = 0.0
+
+// DipKind distinguishes partial impairments from complete loss of light.
+type DipKind int
+
+const (
+	// DipPartial lowers the SNR by a finite depth (amplifier failures,
+	// maintenance accidents, connector degradation).
+	DipPartial DipKind = iota
+	// DipLossOfLight floors the SNR (fiber cuts, laser shutdowns).
+	DipLossOfLight
+)
+
+// String names the dip kind.
+func (k DipKind) String() string {
+	switch k {
+	case DipPartial:
+		return "partial"
+	case DipLossOfLight:
+		return "loss-of-light"
+	default:
+		return fmt.Sprintf("DipKind(%d)", int(k))
+	}
+}
+
+// Dip is one impairment event within a series.
+type Dip struct {
+	Kind DipKind
+	// Start and End are inclusive/exclusive sample indices.
+	Start, End int
+	// DepthdB is how far a partial dip depresses the SNR below the
+	// baseline. Unused for loss-of-light.
+	DepthdB float64
+	// FiberLevel marks events shared by all wavelengths on the fiber.
+	FiberLevel bool
+}
+
+// Duration returns the dip's wall-clock duration.
+func (d Dip) Duration() time.Duration {
+	return time.Duration(d.End-d.Start) * SampleInterval
+}
+
+// Series is the SNR time series of one wavelength.
+type Series struct {
+	// Samples holds SNR in dB at SampleInterval cadence, floored at
+	// LossOfLightdB.
+	Samples []float64
+	// Dips lists the impairment events embedded in Samples, ascending
+	// by Start and non-overlapping.
+	Dips []Dip
+	// BaselinedB is the long-run mean the series jitters around.
+	BaselinedB float64
+}
+
+// Duration returns the series' covered wall-clock time.
+func (s *Series) Duration() time.Duration {
+	return time.Duration(len(s.Samples)) * SampleInterval
+}
+
+// MinMax returns the extreme samples. It panics on an empty series.
+func (s *Series) MinMax() (lo, hi float64) {
+	if len(s.Samples) == 0 {
+		panic("snr: MinMax of empty series")
+	}
+	lo, hi = s.Samples[0], s.Samples[0]
+	for _, v := range s.Samples {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Params configures the generative model for one wavelength.
+type Params struct {
+	// BaselinedB is the wavelength's long-run mean SNR.
+	BaselinedB float64
+	// JitterStd is the stationary standard deviation of the AR(1)
+	// jitter around the baseline (dB).
+	JitterStd float64
+	// JitterPhi is the AR(1) coefficient in [0, 1); higher = smoother.
+	JitterPhi float64
+	// SeasonalAmpdB is the amplitude of a slow annual sinusoidal drift.
+	SeasonalAmpdB float64
+	// DipsPerYear is the Poisson rate of wavelength-local impairment
+	// events.
+	DipsPerYear float64
+	// DipDepthMu, DipDepthSigma parameterize the log-normal depth (dB)
+	// of partial dips.
+	DipDepthMu, DipDepthSigma float64
+	// DipDurationMuHours, DipDurationSigma parameterize the log-normal
+	// dip duration. The paper observes failures lasting several hours
+	// (Figure 3b).
+	DipDurationMuHours, DipDurationSigma float64
+	// LossOfLightProb is the probability that a dip is a complete
+	// loss-of-light event rather than a partial impairment.
+	LossOfLightProb float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.JitterStd < 0:
+		return fmt.Errorf("snr: negative JitterStd %v", p.JitterStd)
+	case p.JitterPhi < 0 || p.JitterPhi >= 1:
+		return fmt.Errorf("snr: JitterPhi %v outside [0,1)", p.JitterPhi)
+	case p.DipsPerYear < 0:
+		return fmt.Errorf("snr: negative DipsPerYear %v", p.DipsPerYear)
+	case p.LossOfLightProb < 0 || p.LossOfLightProb > 1:
+		return fmt.Errorf("snr: LossOfLightProb %v outside [0,1]", p.LossOfLightProb)
+	case p.DipDurationSigma < 0 || p.DipDepthSigma < 0:
+		return fmt.Errorf("snr: negative sigma")
+	}
+	return nil
+}
+
+// samplesPerYear at the 15-minute cadence.
+const samplesPerYear = 365 * 24 * 4
+
+// SamplesFor returns the number of samples covering d.
+func SamplesFor(d time.Duration) int {
+	return int(d / SampleInterval)
+}
+
+// Generate produces a Series of n samples using r as the randomness
+// source. extraDips are events injected from outside (fiber-level
+// events shared across wavelengths); they are merged with the
+// wavelength-local dips drawn from the Params.
+func Generate(p Params, n int, r *rng.Source, extraDips []Dip) (*Series, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("snr: need n > 0 samples, got %d", n)
+	}
+
+	s := &Series{
+		Samples:    make([]float64, n),
+		BaselinedB: p.BaselinedB,
+	}
+
+	// AR(1) jitter with stationary std JitterStd: innovation std is
+	// JitterStd * sqrt(1 - phi^2); start from the stationary law.
+	innovStd := p.JitterStd * math.Sqrt(1-p.JitterPhi*p.JitterPhi)
+	jitter := p.JitterStd * r.NormFloat64()
+
+	// Seasonal phase differs per wavelength.
+	phase := r.Uniform(0, 2*math.Pi)
+
+	for i := 0; i < n; i++ {
+		seasonal := p.SeasonalAmpdB * math.Sin(2*math.Pi*float64(i)/samplesPerYear+phase)
+		s.Samples[i] = p.BaselinedB + seasonal + jitter
+		jitter = p.JitterPhi*jitter + innovStd*r.NormFloat64()
+	}
+
+	// Wavelength-local dips: Poisson count over the horizon, placed
+	// uniformly.
+	years := float64(n) / samplesPerYear
+	local := r.Poisson(p.DipsPerYear * years)
+	dips := append([]Dip(nil), extraDips...)
+	for i := 0; i < local; i++ {
+		durH := r.LogNormal(p.DipDurationMuHours, p.DipDurationSigma)
+		durSamples := int(math.Max(1, math.Round(durH*4))) // 4 samples/hour
+		start := r.Intn(n)
+		end := start + durSamples
+		if end > n {
+			end = n
+		}
+		d := Dip{Start: start, End: end}
+		if r.Bernoulli(p.LossOfLightProb) {
+			d.Kind = DipLossOfLight
+		} else {
+			d.Kind = DipPartial
+			d.DepthdB = r.LogNormal(p.DipDepthMu, p.DipDepthSigma)
+		}
+		dips = append(dips, d)
+	}
+
+	s.Dips = normalizeDips(dips, n)
+	applyDips(s)
+	return s, nil
+}
+
+// normalizeDips clips dips to [0, n), drops empty ones, sorts by start,
+// and merges overlaps (the deeper impairment wins inside an overlap, so
+// merging keeps both as separate entries only when disjoint; overlapping
+// dips are coalesced into one with the worse kind/depth).
+func normalizeDips(dips []Dip, n int) []Dip {
+	out := make([]Dip, 0, len(dips))
+	for _, d := range dips {
+		if d.Start < 0 {
+			d.Start = 0
+		}
+		if d.End > n {
+			d.End = n
+		}
+		if d.End <= d.Start {
+			continue
+		}
+		out = append(out, d)
+	}
+	// Insertion sort by Start (dip counts are small).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Start < out[j-1].Start; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	merged := out[:0]
+	for _, d := range out {
+		if len(merged) == 0 || d.Start >= merged[len(merged)-1].End {
+			merged = append(merged, d)
+			continue
+		}
+		last := &merged[len(merged)-1]
+		if d.End > last.End {
+			last.End = d.End
+		}
+		if d.Kind == DipLossOfLight {
+			last.Kind = DipLossOfLight
+			last.DepthdB = 0
+		} else if last.Kind == DipPartial && d.DepthdB > last.DepthdB {
+			last.DepthdB = d.DepthdB
+		}
+		last.FiberLevel = last.FiberLevel || d.FiberLevel
+	}
+	return merged
+}
+
+// applyDips depresses the samples covered by each dip.
+func applyDips(s *Series) {
+	for _, d := range s.Dips {
+		for i := d.Start; i < d.End; i++ {
+			switch d.Kind {
+			case DipLossOfLight:
+				s.Samples[i] = LossOfLightdB
+			case DipPartial:
+				if v := s.Samples[i] - d.DepthdB; v > LossOfLightdB {
+					s.Samples[i] = v
+				} else {
+					s.Samples[i] = LossOfLightdB
+				}
+			}
+		}
+	}
+	// Floor everything: jitter alone cannot push below loss of light.
+	for i, v := range s.Samples {
+		if v < LossOfLightdB {
+			s.Samples[i] = LossOfLightdB
+		}
+	}
+}

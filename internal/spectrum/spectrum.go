@@ -1,0 +1,345 @@
+// Package spectrum implements the optical provisioning layer under the
+// paper's IP links: a WDM network where each fiber carries a fixed
+// channel grid (the paper's cables carry 40 wavelengths), and an IP
+// link is created by provisioning a *lightpath* — a route through the
+// fiber graph plus one wavelength channel, identical on every hop
+// (the wavelength-continuity constraint of systems without full
+// conversion).
+//
+// The package closes the loop with the rest of the reproduction: a
+// provisioned lightpath's length determines its SNR through the QoT
+// model, its SNR determines the feasible modulation ladder rungs, and
+// ToTopology exports the resulting IP topology *with its upgrade
+// matrices U and P already filled in* — exactly the input Algorithm 1
+// wants.
+package spectrum
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/modulation"
+	"repro/internal/qot"
+)
+
+// LightpathID identifies a provisioned lightpath.
+type LightpathID int
+
+// NoLightpath marks a free channel.
+const NoLightpath LightpathID = 0
+
+// Lightpath is one provisioned wavelength service.
+type Lightpath struct {
+	ID LightpathID
+	// Src and Dst are the IP-layer endpoints.
+	Src, Dst graph.NodeID
+	// Route is the fiber-level path.
+	Route graph.Path
+	// Channel is the wavelength index used on every fiber of the
+	// route (wavelength continuity).
+	Channel int
+	// LengthKm is the route's physical length.
+	LengthKm float64
+	// SNRdB is the QoT-estimated receiver SNR.
+	SNRdB float64
+	// Capacity is the configured capacity (initially the deployment
+	// default, upgradable to Feasible).
+	Capacity modulation.Gbps
+	// Feasible is the highest ladder rung the SNR supports.
+	Feasible modulation.Gbps
+}
+
+// Headroom returns the upgradable capacity.
+func (lp *Lightpath) Headroom() modulation.Gbps {
+	if lp.Feasible > lp.Capacity {
+		return lp.Feasible - lp.Capacity
+	}
+	return 0
+}
+
+// Config sets up the provisioning layer.
+type Config struct {
+	// Channels per fiber (default 40, the paper's count).
+	Channels int
+	// KPaths is how many candidate routes to try per request
+	// (default 3).
+	KPaths int
+	// DefaultCapacity is the rung new lightpaths start at (default
+	// 100 Gbps, the paper's static deployment).
+	DefaultCapacity modulation.Gbps
+	// Ladder is the modulation ladder (default modulation.Default()).
+	Ladder *modulation.Ladder
+	// QoT estimates SNR from length (default qot.Default()).
+	QoT qot.Params
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Channels == 0 {
+		c.Channels = 40
+	}
+	if c.KPaths == 0 {
+		c.KPaths = 3
+	}
+	if c.DefaultCapacity == 0 {
+		c.DefaultCapacity = 100
+	}
+	if c.Ladder == nil {
+		c.Ladder = modulation.Default()
+	}
+	if c.QoT == (qot.Params{}) {
+		c.QoT = qot.Default()
+	}
+	return c
+}
+
+// Network is the provisioning state over a fiber graph.
+type Network struct {
+	cfg Config
+	// fibers is the physical topology: edges are fibers, Weight is
+	// length in km. Edge capacities are set to 1 so path algorithms
+	// treat all fibers as usable.
+	fibers *graph.Graph
+	// occupancy[edge][channel] is the lightpath using the channel.
+	occupancy  [][]LightpathID
+	lightpaths map[LightpathID]*Lightpath
+	nextID     LightpathID
+}
+
+// NewNetwork wraps a fiber graph (edge Weight = length in km; build
+// both directions for bidirectional fibers).
+func NewNetwork(fibers *graph.Graph, cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if fibers == nil {
+		return nil, fmt.Errorf("spectrum: nil fiber graph")
+	}
+	if _, ok := cfg.Ladder.ModeFor(cfg.DefaultCapacity); !ok {
+		return nil, fmt.Errorf("spectrum: default capacity %v not in ladder", cfg.DefaultCapacity)
+	}
+	if err := cfg.QoT.Validate(); err != nil {
+		return nil, err
+	}
+	g := fibers.Clone()
+	for _, e := range g.Edges() {
+		if e.Weight <= 0 {
+			return nil, fmt.Errorf("spectrum: fiber %d has non-positive length %v", e.ID, e.Weight)
+		}
+		g.SetCapacity(e.ID, 1)
+	}
+	n := &Network{
+		cfg:        cfg,
+		fibers:     g,
+		occupancy:  make([][]LightpathID, g.NumEdges()),
+		lightpaths: make(map[LightpathID]*Lightpath),
+		nextID:     1,
+	}
+	for i := range n.occupancy {
+		n.occupancy[i] = make([]LightpathID, cfg.Channels)
+	}
+	return n, nil
+}
+
+// Channels returns the per-fiber channel count.
+func (n *Network) Channels() int { return n.cfg.Channels }
+
+// Lightpaths returns the provisioned lightpaths, ascending by ID.
+func (n *Network) Lightpaths() []*Lightpath {
+	out := make([]*Lightpath, 0, len(n.lightpaths))
+	for _, lp := range n.lightpaths {
+		out = append(out, lp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// freeChannel returns the lowest channel free on every edge of the
+// path (first-fit), or -1.
+func (n *Network) freeChannel(p graph.Path) int {
+	for ch := 0; ch < n.cfg.Channels; ch++ {
+		free := true
+		for _, id := range p.Edges {
+			if n.occupancy[id][ch] != NoLightpath {
+				free = false
+				break
+			}
+		}
+		if free {
+			return ch
+		}
+	}
+	return -1
+}
+
+// pathLengthKm sums fiber lengths along a path.
+func (n *Network) pathLengthKm(p graph.Path) float64 {
+	var l float64
+	for _, id := range p.Edges {
+		l += n.fibers.Edge(id).Weight
+	}
+	return l
+}
+
+// Provision routes a new lightpath from src to dst: the k shortest
+// fiber routes are tried in order; the first with a common free
+// channel (first-fit) and enough SNR for the default capacity wins.
+func (n *Network) Provision(src, dst graph.NodeID) (*Lightpath, error) {
+	if !n.fibers.HasNode(src) || !n.fibers.HasNode(dst) || src == dst {
+		return nil, fmt.Errorf("spectrum: invalid endpoints %d -> %d", int(src), int(dst))
+	}
+	defaultTh, err := n.cfg.Ladder.ThresholdFor(n.cfg.DefaultCapacity)
+	if err != nil {
+		return nil, err
+	}
+	paths := n.fibers.KShortestPaths(src, dst, n.cfg.KPaths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("spectrum: no fiber route from %d to %d", int(src), int(dst))
+	}
+	var lastErr error
+	for _, p := range paths {
+		lengthKm := n.pathLengthKm(p)
+		snr, err := n.cfg.QoT.SNRdB(lengthKm)
+		if err != nil {
+			return nil, err
+		}
+		if snr < defaultTh {
+			lastErr = fmt.Errorf("spectrum: route of %.0f km delivers %.1f dB < %.1f dB needed for %v Gbps (needs regeneration)",
+				lengthKm, snr, defaultTh, n.cfg.DefaultCapacity)
+			continue
+		}
+		ch := n.freeChannel(p)
+		if ch < 0 {
+			lastErr = fmt.Errorf("spectrum: no common free channel on route (wavelength blocking)")
+			continue
+		}
+		feasible, _ := n.cfg.Ladder.FeasibleCapacity(snr)
+		lp := &Lightpath{
+			ID: n.nextID, Src: src, Dst: dst, Route: p, Channel: ch,
+			LengthKm: lengthKm, SNRdB: snr,
+			Capacity: n.cfg.DefaultCapacity, Feasible: feasible.Capacity,
+		}
+		n.nextID++
+		for _, id := range p.Edges {
+			n.occupancy[id][ch] = lp.ID
+		}
+		n.lightpaths[lp.ID] = lp
+		return lp, nil
+	}
+	return nil, lastErr
+}
+
+// Teardown releases a lightpath's spectrum.
+func (n *Network) Teardown(id LightpathID) error {
+	lp, ok := n.lightpaths[id]
+	if !ok {
+		return fmt.Errorf("spectrum: unknown lightpath %d", int(id))
+	}
+	for _, eid := range lp.Route.Edges {
+		n.occupancy[eid][lp.Channel] = NoLightpath
+	}
+	delete(n.lightpaths, id)
+	return nil
+}
+
+// Utilization returns the fraction of channel-hops in use.
+func (n *Network) Utilization() float64 {
+	total, used := 0, 0
+	for _, row := range n.occupancy {
+		for _, id := range row {
+			total++
+			if id != NoLightpath {
+				used++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(used) / float64(total)
+}
+
+// FragmentationIndex measures spectral fragmentation per fiber: 1 −
+// (largest free block / total free channels), averaged over fibers
+// with free spectrum. 0 = all free spectrum contiguous.
+func (n *Network) FragmentationIndex() float64 {
+	var sum float64
+	count := 0
+	for _, row := range n.occupancy {
+		free, largest, run := 0, 0, 0
+		for _, id := range row {
+			if id == NoLightpath {
+				free++
+				run++
+				if run > largest {
+					largest = run
+				}
+			} else {
+				run = 0
+			}
+		}
+		if free == 0 {
+			continue
+		}
+		sum += 1 - float64(largest)/float64(free)
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// ToTopology exports the IP layer induced by the provisioned
+// lightpaths as the Algorithm-1 input: one IP edge per lightpath (its
+// capacity = configured capacity, weight = route length), with the
+// upgrade matrix filled from each lightpath's SNR headroom and the
+// penalty set per unit by penaltyPerGbps. The returned mapping
+// translates IP edges back to lightpath IDs.
+func (n *Network) ToTopology(penaltyPerGbps float64) (*core.Topology, map[graph.EdgeID]LightpathID, error) {
+	if penaltyPerGbps < 0 {
+		return nil, nil, fmt.Errorf("spectrum: negative penalty")
+	}
+	ip := graph.New()
+	for i := 0; i < n.fibers.NumNodes(); i++ {
+		ip.AddNode(n.fibers.NodeName(graph.NodeID(i)))
+	}
+	top := core.NewTopology(ip)
+	mapping := make(map[graph.EdgeID]LightpathID)
+	for _, lp := range n.Lightpaths() {
+		id := ip.AddEdge(graph.Edge{
+			From: lp.Src, To: lp.Dst,
+			Capacity: float64(lp.Capacity),
+			Weight:   lp.LengthKm,
+		})
+		mapping[id] = lp.ID
+		if h := lp.Headroom(); h > 0 {
+			if err := top.SetUpgrade(id, float64(h), penaltyPerGbps); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return top, mapping, nil
+}
+
+// ApplyDecision commits a TE decision's capacity changes back onto the
+// lightpaths (the optical half of the paper's step 3a).
+func (n *Network) ApplyDecision(dec *core.Decision, mapping map[graph.EdgeID]LightpathID) error {
+	for _, ch := range dec.Changes {
+		lpID, ok := mapping[ch.Edge]
+		if !ok {
+			return fmt.Errorf("spectrum: decision references unmapped IP edge %d", int(ch.Edge))
+		}
+		lp, ok := n.lightpaths[lpID]
+		if !ok {
+			return fmt.Errorf("spectrum: decision references torn-down lightpath %d", int(lpID))
+		}
+		target := modulation.Gbps(ch.NewCapacity)
+		if target > lp.Feasible {
+			return fmt.Errorf("spectrum: decision raises lightpath %d to %v above feasible %v",
+				int(lpID), target, lp.Feasible)
+		}
+		lp.Capacity = target
+	}
+	return nil
+}

@@ -1,0 +1,381 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/te"
+)
+
+// fiberTriangle builds a triangle of bidirectional fibers:
+// A-B 400 km, B-C 400 km, A-C 1600 km.
+func fiberTriangle() (*graph.Graph, [3]graph.NodeID) {
+	g := graph.New()
+	a, b, c := g.AddNode("A"), g.AddNode("B"), g.AddNode("C")
+	both := func(u, v graph.NodeID, km float64) {
+		g.AddEdge(graph.Edge{From: u, To: v, Weight: km})
+		g.AddEdge(graph.Edge{From: v, To: u, Weight: km})
+	}
+	both(a, b, 400)
+	both(b, c, 400)
+	both(a, c, 1600)
+	return g, [3]graph.NodeID{a, b, c}
+}
+
+func newNet(t *testing.T, cfg Config) (*Network, [3]graph.NodeID) {
+	t.Helper()
+	g, nodes := fiberTriangle()
+	n, err := NewNetwork(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, nodes
+}
+
+func TestProvisionBasic(t *testing.T) {
+	n, nodes := newNet(t, Config{})
+	lp, err := n.Provision(nodes[0], nodes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Channel != 0 {
+		t.Fatalf("first-fit channel = %d", lp.Channel)
+	}
+	if lp.LengthKm != 400 {
+		t.Fatalf("length = %v", lp.LengthKm)
+	}
+	if lp.Capacity != 100 {
+		t.Fatalf("capacity = %v", lp.Capacity)
+	}
+	if lp.Feasible < lp.Capacity {
+		t.Fatalf("feasible %v below default", lp.Feasible)
+	}
+	// 400 km is short: should support high rungs.
+	if lp.Feasible < 175 {
+		t.Fatalf("400 km feasible only %v Gbps", lp.Feasible)
+	}
+	if len(n.Lightpaths()) != 1 {
+		t.Fatal("lightpath not recorded")
+	}
+}
+
+func TestProvisionWavelengthContinuityFirstFit(t *testing.T) {
+	n, nodes := newNet(t, Config{Channels: 4})
+	// Fill channel 0 and 1 on A-B with A->B lightpaths.
+	for i := 0; i < 2; i++ {
+		lp, err := n.Provision(nodes[0], nodes[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lp.Channel != i {
+			t.Fatalf("lightpath %d got channel %d", i, lp.Channel)
+		}
+	}
+	// An A->C via B lightpath must avoid channels 0,1 on A-B... but the
+	// 2-hop route shares only the A-B fiber direction; it needs a
+	// channel free on both A-B and B-C: channel 2.
+	lp, err := n.Provision(nodes[0], nodes[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lp.Route.Edges) == 2 && lp.Channel != 2 {
+		t.Fatalf("2-hop lightpath channel = %d, want 2 (continuity)", lp.Channel)
+	}
+}
+
+func TestProvisionBlocksWhenSpectrumFull(t *testing.T) {
+	n, nodes := newNet(t, Config{Channels: 2, KPaths: 1})
+	for i := 0; i < 2; i++ {
+		if _, err := n.Provision(nodes[0], nodes[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.Provision(nodes[0], nodes[1]); err == nil {
+		t.Fatal("provisioned past full spectrum with k=1")
+	}
+}
+
+func TestProvisionFallsBackToAlternateRoute(t *testing.T) {
+	n, nodes := newNet(t, Config{Channels: 1, KPaths: 3})
+	// Exhaust the direct A-B fiber.
+	if _, err := n.Provision(nodes[0], nodes[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Second A->B lightpath must detour A-C-B (2000 km)... which is
+	// still within QoT reach for 100G.
+	lp, err := n.Provision(nodes[0], nodes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lp.Route.Edges) < 2 {
+		t.Fatalf("expected detour, got %d hops", len(lp.Route.Edges))
+	}
+}
+
+func TestProvisionLongRouteLowerFeasible(t *testing.T) {
+	n, nodes := newNet(t, Config{})
+	short, err := n.Provision(nodes[0], nodes[1]) // 400 km
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := n.Provision(nodes[0], nodes[2]) // 800 or 1600 km
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Feasible > short.Feasible {
+		t.Fatalf("longer lightpath has more headroom: %v > %v", long.Feasible, short.Feasible)
+	}
+}
+
+func TestProvisionInvalid(t *testing.T) {
+	n, nodes := newNet(t, Config{})
+	if _, err := n.Provision(nodes[0], nodes[0]); err == nil {
+		t.Fatal("self endpoints accepted")
+	}
+	if _, err := n.Provision(nodes[0], 99); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestTeardownFreesSpectrum(t *testing.T) {
+	n, nodes := newNet(t, Config{Channels: 1, KPaths: 1})
+	lp, err := n.Provision(nodes[0], nodes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Provision(nodes[0], nodes[1]); err == nil {
+		t.Fatal("expected blocking")
+	}
+	if err := n.Teardown(lp.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Provision(nodes[0], nodes[1]); err != nil {
+		t.Fatalf("spectrum not freed: %v", err)
+	}
+	if err := n.Teardown(999); err == nil {
+		t.Fatal("unknown teardown accepted")
+	}
+}
+
+func TestUtilizationAndFragmentation(t *testing.T) {
+	n, nodes := newNet(t, Config{Channels: 4})
+	if n.Utilization() != 0 {
+		t.Fatal("fresh network utilized")
+	}
+	if n.FragmentationIndex() != 0 {
+		t.Fatal("fresh network fragmented")
+	}
+	lp1, _ := n.Provision(nodes[0], nodes[1])
+	lp2, _ := n.Provision(nodes[0], nodes[1])
+	lp3, _ := n.Provision(nodes[0], nodes[1])
+	if n.Utilization() <= 0 {
+		t.Fatal("utilization not counted")
+	}
+	// Tear down the middle one: channel 1 free between 0 and 2 →
+	// fragmentation on that fiber.
+	_ = lp1
+	_ = lp3
+	if err := n.Teardown(lp2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if n.FragmentationIndex() <= 0 {
+		t.Fatal("fragmentation not detected")
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil, Config{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g := graph.New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddEdge(graph.Edge{From: a, To: b, Weight: 0})
+	if _, err := NewNetwork(g, Config{}); err == nil {
+		t.Fatal("zero-length fiber accepted")
+	}
+	g2 := graph.New()
+	g2.AddNode("a")
+	if _, err := NewNetwork(g2, Config{DefaultCapacity: 99}); err == nil {
+		t.Fatal("off-ladder default accepted")
+	}
+}
+
+func TestProvisionRejectsUnreachableQoT(t *testing.T) {
+	// A single absurdly long fiber: no modulation can cross it.
+	g := graph.New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddEdge(graph.Edge{From: a, To: b, Weight: 100000})
+	n, err := NewNetwork(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Provision(a, b); err == nil {
+		t.Fatal("QoT-infeasible lightpath accepted")
+	}
+}
+
+func TestToTopologyAndApplyDecision(t *testing.T) {
+	// The full loop: provision wavelengths → export Algorithm-1 input →
+	// run TE on the augmentation → apply decision back to the optical
+	// layer.
+	n, nodes := newNet(t, Config{})
+	if _, err := n.Provision(nodes[0], nodes[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Provision(nodes[1], nodes[2]); err != nil {
+		t.Fatal(err)
+	}
+	top, mapping, err := n.ToTopology(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.G.NumEdges() != 2 {
+		t.Fatalf("IP edges = %d", top.G.NumEdges())
+	}
+	if len(top.Upgrades) == 0 {
+		t.Fatal("no upgrades exported despite headroom")
+	}
+	aug, err := core.Augment(top, core.PenaltyFromMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := te.Greedy{}.Allocate(aug.Graph, []te.Demand{
+		{Src: nodes[0], Dst: nodes[2], Volume: 150},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := aug.Translate(graph.FlowResult{Value: alloc.Throughput, EdgeFlow: alloc.EdgeFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dec.Value-150) > 1e-9 {
+		t.Fatalf("shipped %v", dec.Value)
+	}
+	if len(dec.Changes) == 0 {
+		t.Fatal("no upgrades decided for 150G over 100G links")
+	}
+	if err := n.ApplyDecision(dec, mapping); err != nil {
+		t.Fatal(err)
+	}
+	// The lightpaths now run at their upgraded capacities.
+	upgraded := 0
+	for _, lp := range n.Lightpaths() {
+		if lp.Capacity > 100 {
+			upgraded++
+		}
+	}
+	if upgraded != len(dec.Changes) {
+		t.Fatalf("%d lightpaths upgraded for %d changes", upgraded, len(dec.Changes))
+	}
+}
+
+func TestApplyDecisionRejectsBad(t *testing.T) {
+	n, nodes := newNet(t, Config{})
+	lp, err := n.Provision(nodes[0], nodes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, mapping, err := n.ToTopology(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = top
+	var ipEdge graph.EdgeID
+	for e := range mapping {
+		ipEdge = e
+	}
+	mkDec := func(edge graph.EdgeID, newCap float64) *core.Decision {
+		return &core.Decision{Changes: []core.CapacityChange{{Edge: edge, NewCapacity: newCap}}}
+	}
+	// Unmapped edge.
+	if err := n.ApplyDecision(mkDec(99, 200), map[graph.EdgeID]LightpathID{}); err == nil {
+		t.Fatal("unmapped edge accepted")
+	}
+	// Above-feasible capacity.
+	if err := n.ApplyDecision(mkDec(ipEdge, 10000), mapping); err == nil {
+		t.Fatal("above-feasible upgrade accepted")
+	}
+	// Torn-down lightpath.
+	if err := n.Teardown(lp.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ApplyDecision(mkDec(ipEdge, 150), mapping); err == nil {
+		t.Fatal("stale lightpath accepted")
+	}
+}
+
+func TestToTopologyNegativePenalty(t *testing.T) {
+	n, _ := newNet(t, Config{})
+	if _, _, err := n.ToTopology(-1); err == nil {
+		t.Fatal("negative penalty accepted")
+	}
+}
+
+// Property: under random provision/teardown churn, the spectral
+// accounting stays consistent — every live lightpath owns its channel
+// on every hop, no two lightpaths share a channel-hop, and utilization
+// matches the live set exactly.
+func TestProvisioningChurnInvariant(t *testing.T) {
+	r := rng.New(91)
+	g, nodes := fiberTriangle()
+	n, err := NewNetwork(g, Config{Channels: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[LightpathID]*Lightpath{}
+	for step := 0; step < 400; step++ {
+		if r.Bernoulli(0.6) || len(live) == 0 {
+			src := nodes[r.Intn(3)]
+			dst := nodes[r.Intn(3)]
+			if src == dst {
+				continue
+			}
+			lp, err := n.Provision(src, dst)
+			if err != nil {
+				continue // blocking is legal under churn
+			}
+			live[lp.ID] = lp
+		} else {
+			// Tear down a random live lightpath.
+			for id := range live {
+				if err := n.Teardown(id); err != nil {
+					t.Fatalf("step %d: teardown: %v", step, err)
+				}
+				delete(live, id)
+				break
+			}
+		}
+		// Invariant: network's view matches ours.
+		got := n.Lightpaths()
+		if len(got) != len(live) {
+			t.Fatalf("step %d: %d live vs %d tracked", step, len(got), len(live))
+		}
+		// Invariant: no channel-hop is double-booked.
+		type slot struct {
+			edge graph.EdgeID
+			ch   int
+		}
+		owned := map[slot]LightpathID{}
+		hops := 0
+		for _, lp := range got {
+			for _, eid := range lp.Route.Edges {
+				s := slot{eid, lp.Channel}
+				if prev, clash := owned[s]; clash {
+					t.Fatalf("step %d: channel %d on edge %d owned by %d and %d",
+						step, lp.Channel, int(eid), int(prev), int(lp.ID))
+				}
+				owned[s] = lp.ID
+				hops++
+			}
+		}
+		// Invariant: utilization equals owned hops / total slots.
+		want := float64(hops) / float64(g.NumEdges()*6)
+		if diff := n.Utilization() - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("step %d: utilization %v, want %v", step, n.Utilization(), want)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package stats provides the statistical toolkit behind every figure in
+// the reproduction: empirical CDFs, quantiles, histograms, summary
+// statistics, and the 95% highest-density region (HDR) metric the paper
+// uses to characterize SNR stability (Figure 2a).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds the usual scalar summaries of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // population standard deviation
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrEmpty for an empty
+// sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(xs)))
+	s.Median = Quantile(xs, 0.5)
+	return s, nil
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between order statistics (type 7, the R/NumPy default).
+// It copies and sorts internally; callers with pre-sorted data should
+// use QuantileSorted. Quantile panics on an empty sample or p outside
+// [0, 1]: both indicate a programming error in an experiment.
+func Quantile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, p)
+}
+
+// QuantileSorted is Quantile for already-ascending data.
+func QuantileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: quantile p=%v out of [0,1]", p))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	h := p * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Range returns max(xs) - min(xs), the paper's "Range (max−min)" metric
+// from Figure 2a.
+func Range(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo, nil
+}
+
+// HDR computes the highest-density region of a sample at the given mass
+// (e.g. 0.95): the smallest interval [Lo, Hi] containing at least
+// ceil(mass*N) of the samples. This is the paper's stability metric:
+// "the smallest interval in which 95% or more of the SNR values are
+// concentrated" (§2.1). For an empirical sample the minimizing interval
+// always has order statistics as endpoints, so we slide a window of
+// k = ceil(mass*N) points over the sorted sample and keep the narrowest.
+type HDRInterval struct {
+	Lo, Hi float64
+}
+
+// Width returns Hi - Lo.
+func (h HDRInterval) Width() float64 { return h.Hi - h.Lo }
+
+// HDR returns the highest-density region at the given mass in (0, 1].
+func HDR(xs []float64, mass float64) (HDRInterval, error) {
+	if len(xs) == 0 {
+		return HDRInterval{}, ErrEmpty
+	}
+	if mass <= 0 || mass > 1 {
+		return HDRInterval{}, fmt.Errorf("stats: HDR mass %v out of (0,1]", mass)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	k := int(math.Ceil(mass * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	best := HDRInterval{Lo: sorted[0], Hi: sorted[k-1]}
+	for i := 1; i+k-1 < len(sorted); i++ {
+		if w := sorted[i+k-1] - sorted[i]; w < best.Width() {
+			best = HDRInterval{Lo: sorted[i], Hi: sorted[i+k-1]}
+		}
+	}
+	return best, nil
+}
+
+// CDFPoint is one point of an empirical CDF: P(X <= X) = F.
+type CDFPoint struct {
+	X float64
+	F float64
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+// Points are ascending in X and F.
+type CDF struct {
+	Points []CDFPoint
+}
+
+// NewCDF builds the empirical CDF of xs. Duplicate values collapse into
+// a single point carrying the cumulative mass. Returns ErrEmpty for an
+// empty sample.
+func NewCDF(xs []float64) (CDF, error) {
+	if len(xs) == 0 {
+		return CDF{}, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	pts := make([]CDFPoint, 0, len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		// Collapse runs of equal values to the last index of the run.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		pts = append(pts, CDFPoint{X: sorted[i], F: float64(i+1) / n})
+	}
+	return CDF{Points: pts}, nil
+}
+
+// At returns F(x) = P(X <= x).
+func (c CDF) At(x float64) float64 {
+	// Binary search for the last point with X <= x.
+	i := sort.Search(len(c.Points), func(i int) bool { return c.Points[i].X > x })
+	if i == 0 {
+		return 0
+	}
+	return c.Points[i-1].F
+}
+
+// InvAt returns the smallest x with F(x) >= p (the quantile function of
+// the empirical distribution). It panics if the CDF is empty or p is
+// outside (0, 1].
+func (c CDF) InvAt(p float64) float64 {
+	if len(c.Points) == 0 {
+		panic("stats: InvAt on empty CDF")
+	}
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("stats: InvAt p=%v out of (0,1]", p))
+	}
+	i := sort.Search(len(c.Points), func(i int) bool { return c.Points[i].F >= p })
+	if i == len(c.Points) {
+		i = len(c.Points) - 1
+	}
+	return c.Points[i].X
+}
+
+// Sampled returns n evenly spaced (in X) points of the CDF suitable for
+// plotting or printing; endpoints are always included. n must be >= 2.
+func (c CDF) Sampled(n int) []CDFPoint {
+	if n < 2 {
+		panic("stats: Sampled needs n >= 2")
+	}
+	if len(c.Points) == 0 {
+		return nil
+	}
+	lo := c.Points[0].X
+	hi := c.Points[len(c.Points)-1].X
+	out := make([]CDFPoint, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		out[i] = CDFPoint{X: x, F: c.At(x)}
+	}
+	return out
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	// Under and Over count samples outside [Lo, Hi).
+	Under, Over int
+}
+
+// NewHistogram builds a histogram with bins equal-width bins. It panics
+// if bins < 1 or hi <= lo, which indicate a programming error.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs bins >= 1")
+	}
+	if hi <= lo {
+		panic("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi {
+		h.Over++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i >= len(h.Counts) { // float round-off at the upper edge
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of in-range samples.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// FractionAtLeast returns the fraction of samples >= threshold.
+func FractionAtLeast(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// FractionBelow returns the fraction of samples < threshold.
+func FractionBelow(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return 1 - FractionAtLeast(xs, threshold)
+}

@@ -1,0 +1,151 @@
+// Package te implements traffic-engineering algorithms behind a single
+// interface. Crucially for the paper's argument (§3.2, §4), every
+// algorithm here treats its input graph as opaque: it neither knows nor
+// cares whether an edge is physical or one of the abstraction's fake
+// links. Running any of these on an augmented topology and translating
+// the result is exactly how the paper keeps "the IP layer algorithms
+// unchanged".
+//
+// Algorithms provided:
+//
+//   - ShortestPath: OSPF-like single-shortest-path routing (baseline).
+//   - Greedy: sequential min-cost flow per demand over residual
+//     capacity — the workhorse the experiments pair with the
+//     augmentation, since its cost-awareness activates fake links only
+//     when the penalty is worth paying.
+//   - KPath: SWAN-like k-shortest-path allocation with iterative
+//     water-filling across demands.
+//   - MaxConcurrent: Garg–Könemann (1+ε) approximation of the maximum
+//     concurrent multicommodity flow, the combinatorial stand-in for
+//     the LP solvers inside SWAN/B4-style controllers.
+package te
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Demand is one commodity: Volume units wanted from Src to Dst.
+type Demand struct {
+	Src, Dst graph.NodeID
+	Volume   float64
+	// Priority orders demands for allocation: lower values are more
+	// important (0 = highest, the default). The paper's §4.2 notes the
+	// operator may adjust disruption penalties "according to the
+	// traffic priority class"; the allocators here serve higher classes
+	// first so they grab undisturbed capacity.
+	Priority int
+}
+
+// byPriority returns demand indices ordered by ascending Priority,
+// stable within a class (preserving the operator's submission order).
+func byPriority(demands []Demand) []int {
+	idx := make([]int, len(demands))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable insertion sort: len(demands) is small in TE rounds.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && demands[idx[j]].Priority < demands[idx[j-1]].Priority; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+// Validate checks a demand against a graph.
+func (d Demand) Validate(g *graph.Graph) error {
+	if !g.HasNode(d.Src) || !g.HasNode(d.Dst) {
+		return fmt.Errorf("te: demand endpoints %d->%d invalid", int(d.Src), int(d.Dst))
+	}
+	if d.Src == d.Dst {
+		return fmt.Errorf("te: demand with equal endpoints %d", int(d.Src))
+	}
+	if d.Volume < 0 {
+		return fmt.Errorf("te: negative demand volume %v", d.Volume)
+	}
+	return nil
+}
+
+// DemandResult is the allocation for one demand.
+type DemandResult struct {
+	Demand Demand
+	// Shipped is how much of the demand was satisfied.
+	Shipped float64
+	// Paths decomposes the shipped volume into paths (may be empty for
+	// algorithms that only report aggregate edge flows).
+	Paths []graph.PathFlow
+}
+
+// Allocation is the output of a TE run.
+type Allocation struct {
+	// Results holds one entry per input demand, same order.
+	Results []DemandResult
+	// EdgeFlow is the aggregate flow per edge of the input graph.
+	EdgeFlow []float64
+	// Throughput is the total shipped volume across demands.
+	Throughput float64
+	// Cost is sum(flow_e * cost_e) over the input graph.
+	Cost float64
+}
+
+// Algorithm is a TE scheme. Allocate must not modify g.
+type Algorithm interface {
+	Name() string
+	Allocate(g *graph.Graph, demands []Demand) (*Allocation, error)
+}
+
+// validateAll checks every demand.
+func validateAll(g *graph.Graph, demands []Demand) error {
+	for i, d := range demands {
+		if err := d.Validate(g); err != nil {
+			return fmt.Errorf("demand %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// finish computes the aggregate fields of an allocation.
+func finish(g *graph.Graph, a *Allocation) {
+	a.Throughput = 0
+	for _, r := range a.Results {
+		a.Throughput += r.Shipped
+	}
+	a.Cost = 0
+	for id, f := range a.EdgeFlow {
+		a.Cost += f * g.Edge(graph.EdgeID(id)).Cost
+	}
+}
+
+// CheckFeasible verifies an allocation against the graph's capacities
+// (within tolerance) and that per-demand path totals match Shipped.
+func CheckFeasible(g *graph.Graph, a *Allocation) error {
+	if len(a.EdgeFlow) != g.NumEdges() {
+		return fmt.Errorf("te: EdgeFlow length %d for %d edges", len(a.EdgeFlow), g.NumEdges())
+	}
+	for id, f := range a.EdgeFlow {
+		if f < -1e-6 {
+			return fmt.Errorf("te: negative flow %v on edge %d", f, id)
+		}
+		if c := g.Edge(graph.EdgeID(id)).Capacity; f > c+1e-6 {
+			return fmt.Errorf("te: flow %v exceeds capacity %v on edge %d", f, c, id)
+		}
+	}
+	for i, r := range a.Results {
+		if len(r.Paths) == 0 {
+			continue
+		}
+		var sum float64
+		for _, pf := range r.Paths {
+			if err := pf.Path.Validate(g); err != nil {
+				return fmt.Errorf("te: demand %d path invalid: %w", i, err)
+			}
+			sum += pf.Amount
+		}
+		if diff := sum - r.Shipped; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("te: demand %d paths sum %v != shipped %v", i, sum, r.Shipped)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+// Robustness tests: the binary codecs must reject arbitrary garbage
+// with an error — never panic, never hang, never over-allocate.
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestReadFleetNeverPanicsOnGarbage feeds random byte soup to the
+// fleet decoder.
+func TestReadFleetNeverPanicsOnGarbage(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint64, size uint16) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		local := rng.New(seed)
+		buf := make([]byte, int(size)%4096)
+		for i := range buf {
+			buf[i] = byte(local.Uint64())
+		}
+		_, _ = ReadFleet(bytes.NewReader(buf))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+// TestReadFleetGarbageAfterValidHeader prepends the real magic so the
+// decoder gets deeper before the input rots.
+func TestReadFleetGarbageAfterValidHeader(t *testing.T) {
+	f := func(seed uint64, size uint16) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		local := rng.New(seed)
+		var buf bytes.Buffer
+		buf.WriteString("RWCT")
+		buf.Write([]byte{1, 0}) // valid version
+		tail := make([]byte, int(size)%2048)
+		for i := range tail {
+			tail[i] = byte(local.Uint64())
+		}
+		buf.Write(tail)
+		_, _ = ReadFleet(&buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadFrameNeverPanicsOnGarbage does the same for the streaming
+// frame parser.
+func TestReadFrameNeverPanicsOnGarbage(t *testing.T) {
+	f := func(seed uint64, size uint16) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		local := rng.New(seed)
+		buf := make([]byte, int(size)%512)
+		for i := range buf {
+			buf[i] = byte(local.Uint64())
+		}
+		_, _, _ = readFrame(bytes.NewReader(buf))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeCatalogNeverPanics fuzzes the catalog decoder.
+func TestDecodeCatalogNeverPanics(t *testing.T) {
+	f := func(seed uint64, size uint16) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		local := rng.New(seed)
+		buf := make([]byte, int(size)%512)
+		for i := range buf {
+			buf[i] = byte(local.Uint64())
+		}
+		_, _ = decodeCatalog(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptFleetBitFlips flips each byte of a valid encoding and
+// requires decode to either succeed (flip in sample data is legal) or
+// fail cleanly.
+func TestCorruptFleetBitFlips(t *testing.T) {
+	fl := NewFleet()
+	fl.Add(LinkRecord{Name: "a", Samples: []float64{1, 2, 3}})
+	var buf bytes.Buffer
+	if _, err := fl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0xff
+		func() {
+			defer func() {
+				if recover() != nil {
+					t.Fatalf("panic on flip at byte %d", i)
+				}
+			}()
+			_, _ = ReadFleet(bytes.NewReader(mut))
+		}()
+	}
+}

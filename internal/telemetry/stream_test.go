@@ -1,0 +1,281 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// startServer runs a server on an ephemeral port and returns it with
+// its address.
+func startServer(t *testing.T, names []string) (*Server, string) {
+	t.Helper()
+	srv := NewServer(names)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(context.Background(), "127.0.0.1:0") }()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("server did not start listening")
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("serve returned early: %v", err)
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-errCh; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, srv.Addr().String()
+}
+
+func TestClientReceivesCatalogAndSamples(t *testing.T) {
+	names := []string{"fiber000-wl00", "fiber000-wl01"}
+	srv, addr := startServer(t, names)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	got := c.LinkNames()
+	if len(got) != 2 || got[0] != names[0] || got[1] != names[1] {
+		t.Fatalf("catalog = %v", got)
+	}
+
+	want := Sample{LinkIndex: 1, Time: time.Unix(0, 1234567890), SNRdB: 15.25}
+	// Publish until the subscriber is registered (subscription races
+	// the first publish).
+	go func() {
+		for i := 0; i < 200; i++ {
+			_ = srv.Publish(want)
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	if err := c.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LinkIndex != want.LinkIndex || !s.Time.Equal(want.Time) || s.SNRdB != 15.25 {
+		t.Fatalf("sample = %+v", s)
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	srv, addr := startServer(t, []string{"l0"})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	clients := make([]*Client, 3)
+	for i := range clients {
+		c, err := Dial(ctx, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	go func() {
+		for i := 0; i < 200; i++ {
+			_ = srv.Publish(Sample{LinkIndex: 0, Time: time.Now(), SNRdB: 10})
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	for i, c := range clients {
+		if err := c.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Next(); err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+}
+
+func TestPublishRejectsUnknownLink(t *testing.T) {
+	srv := NewServer([]string{"l0"})
+	if err := srv.Publish(Sample{LinkIndex: 5}); err == nil {
+		t.Fatal("out-of-catalog sample accepted")
+	}
+	if err := srv.Publish(Sample{LinkIndex: -1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestServerCloseDisconnectsClients(t *testing.T) {
+	srv, addr := startServer(t, []string{"l0"})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Close()
+	if err := c.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Next()
+	if err == nil {
+		t.Fatal("Next succeeded after server close")
+	}
+	if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, net.ErrClosed) {
+		t.Logf("close surfaced as: %v", err) // any terminal error is fine
+	}
+}
+
+func TestPublishAfterCloseFails(t *testing.T) {
+	srv := NewServer([]string{"l0"})
+	srv.Close()
+	if err := srv.Publish(Sample{LinkIndex: 0}); err == nil {
+		t.Fatal("publish after close accepted")
+	}
+}
+
+func TestDialRejectsNonServer(t *testing.T) {
+	// A listener that immediately sends garbage.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("not a telemetry stream at all............"))
+		conn.Close()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := Dial(ctx, ln.Addr().String()); err == nil {
+		t.Fatal("garbage server accepted")
+	}
+}
+
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	srv, addr := startServer(t, []string{"l0"})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Never read; publish far more than the buffer. Publish must not
+	// block.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			_ = srv.Publish(Sample{LinkIndex: 0, SNRdB: float64(i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a slow subscriber")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := Sample{LinkIndex: 7, Time: time.Unix(123, 456), SNRdB: -2.5}
+	if err := writeFrame(&buf, frameSample, encodeSample(s)); err != nil {
+		t.Fatal(err)
+	}
+	ft, payload, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != frameSample {
+		t.Fatalf("type = %d", ft)
+	}
+	got, err := decodeSample(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LinkIndex != 7 || !got.Time.Equal(s.Time) || got.SNRdB != -2.5 {
+		t.Fatalf("sample = %+v", got)
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	if _, _, err := readFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+	// Zero-length frame is also invalid.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0, 1})
+	if _, _, err := readFrame(&buf); err == nil {
+		t.Fatal("zero frame accepted")
+	}
+}
+
+func TestDecodeSampleBadLength(t *testing.T) {
+	if _, err := decodeSample([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestCatalogRoundTrip(t *testing.T) {
+	names := []string{"a", "", "fiber012-wl34", "日本"}
+	enc, err := encodeCatalog(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decodeCatalog(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(names) {
+		t.Fatalf("len = %d", len(dec))
+	}
+	for i := range names {
+		if dec[i] != names[i] {
+			t.Fatalf("name %d: %q != %q", i, dec[i], names[i])
+		}
+	}
+}
+
+func TestDecodeCatalogCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},                       // too short
+		{1, 0, 0, 0},             // claims 1 name, no data
+		{1, 0, 0, 0, 10, 0, 'a'}, // name length overruns
+		{0xff, 0xff, 0xff, 0xff}, // absurd count
+	}
+	for i, p := range cases {
+		if _, err := decodeCatalog(p); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEmptyCatalog(t *testing.T) {
+	enc, err := encodeCatalog(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decodeCatalog(enc)
+	if err != nil || len(dec) != 0 {
+		t.Fatalf("dec = %v, err = %v", dec, err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package telemetry stores SNR time series the way an operator's
+// monitoring pipeline would: a fleet of named links, each with a
+// 15-minute sample stream, serializable to a compact binary format and
+// exportable as JSON. The snrgen tool writes these files; experiments
+// can reload them instead of regenerating.
+package telemetry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/snr"
+)
+
+// LinkRecord is one wavelength's telemetry.
+type LinkRecord struct {
+	// Name identifies the link (e.g. "fiber012-wl03").
+	Name string
+	// Fiber and Wavelength locate the link physically.
+	Fiber, Wavelength int
+	// BaselinedB is the generative baseline (kept for calibration
+	// introspection; a real pipeline would not have it).
+	BaselinedB float64
+	// Samples holds SNR in dB at the fleet's cadence.
+	Samples []float64
+}
+
+// Fleet is a collection of link telemetry with a common cadence.
+type Fleet struct {
+	// Interval is the sampling cadence (15 minutes in the paper).
+	Interval time.Duration
+	Links    []LinkRecord
+}
+
+// NewFleet returns an empty fleet at the paper's cadence.
+func NewFleet() *Fleet {
+	return &Fleet{Interval: snr.SampleInterval}
+}
+
+// Add appends a link record.
+func (f *Fleet) Add(rec LinkRecord) { f.Links = append(f.Links, rec) }
+
+// Duration returns the covered time of the longest link.
+func (f *Fleet) Duration() time.Duration {
+	maxN := 0
+	for _, l := range f.Links {
+		if len(l.Samples) > maxN {
+			maxN = len(l.Samples)
+		}
+	}
+	return time.Duration(maxN) * f.Interval
+}
+
+// Binary format:
+//
+//	magic "RWCT" | u16 version | i64 interval (ns) | u32 nLinks
+//	per link: u16 nameLen | name | i32 fiber | i32 wavelength |
+//	          f64 baseline | u32 nSamples | nSamples × f32
+//
+// Samples are stored as float32: 24-bit mantissa gives far better than
+// the 0.01 dB precision optical telemetry reports.
+const (
+	magic   = "RWCT"
+	version = 1
+)
+
+// ErrBadFormat reports a corrupt or foreign input stream.
+var ErrBadFormat = errors.New("telemetry: bad format")
+
+// WriteTo serializes the fleet.
+func (f *Fleet) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(magic); err != nil {
+		return n, err
+	}
+	n += int64(len(magic))
+	if err := write(uint16(version)); err != nil {
+		return n, err
+	}
+	if err := write(int64(f.Interval)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(f.Links))); err != nil {
+		return n, err
+	}
+	for _, l := range f.Links {
+		if len(l.Name) > math.MaxUint16 {
+			return n, fmt.Errorf("telemetry: link name too long (%d bytes)", len(l.Name))
+		}
+		if err := write(uint16(len(l.Name))); err != nil {
+			return n, err
+		}
+		if _, err := bw.WriteString(l.Name); err != nil {
+			return n, err
+		}
+		n += int64(len(l.Name))
+		if err := write(int32(l.Fiber)); err != nil {
+			return n, err
+		}
+		if err := write(int32(l.Wavelength)); err != nil {
+			return n, err
+		}
+		if err := write(l.BaselinedB); err != nil {
+			return n, err
+		}
+		if err := write(uint32(len(l.Samples))); err != nil {
+			return n, err
+		}
+		for _, s := range l.Samples {
+			if err := write(float32(s)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFleet deserializes a fleet written by WriteTo.
+func ReadFleet(r io.Reader) (*Fleet, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, head)
+	}
+	var ver uint16
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if ver != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, ver)
+	}
+	var interval int64
+	if err := binary.Read(br, binary.LittleEndian, &interval); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("%w: non-positive interval", ErrBadFormat)
+	}
+	var nLinks uint32
+	if err := binary.Read(br, binary.LittleEndian, &nLinks); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	const maxLinks = 1 << 20 // sanity bound against corrupt counts
+	if nLinks > maxLinks {
+		return nil, fmt.Errorf("%w: %d links", ErrBadFormat, nLinks)
+	}
+	f := &Fleet{Interval: time.Duration(interval)}
+	for i := uint32(0); i < nLinks; i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		var rec LinkRecord
+		rec.Name = string(name)
+		var fiber, wl int32
+		if err := binary.Read(br, binary.LittleEndian, &fiber); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &wl); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		rec.Fiber, rec.Wavelength = int(fiber), int(wl)
+		if err := binary.Read(br, binary.LittleEndian, &rec.BaselinedB); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		var nSamples uint32
+		if err := binary.Read(br, binary.LittleEndian, &nSamples); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		const maxSamples = 1 << 28
+		if nSamples > maxSamples {
+			return nil, fmt.Errorf("%w: %d samples", ErrBadFormat, nSamples)
+		}
+		rec.Samples = make([]float64, nSamples)
+		buf := make([]float32, nSamples)
+		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		for j, v := range buf {
+			rec.Samples[j] = float64(v)
+		}
+		f.Links = append(f.Links, rec)
+	}
+	return f, nil
+}
+
+// summaryJSON is the JSON export shape: per-link scalar summaries, not
+// raw samples (those belong in the binary format).
+type summaryJSON struct {
+	IntervalSeconds float64           `json:"interval_seconds"`
+	Links           []linkSummaryJSON `json:"links"`
+}
+
+type linkSummaryJSON struct {
+	Name       string  `json:"name"`
+	Fiber      int     `json:"fiber"`
+	Wavelength int     `json:"wavelength"`
+	Baseline   float64 `json:"baseline_db"`
+	Samples    int     `json:"samples"`
+	MeanSNR    float64 `json:"mean_snr_db"`
+	MinSNR     float64 `json:"min_snr_db"`
+	MaxSNR     float64 `json:"max_snr_db"`
+}
+
+// WriteSummaryJSON exports per-link scalar summaries as JSON.
+func (f *Fleet) WriteSummaryJSON(w io.Writer) error {
+	out := summaryJSON{IntervalSeconds: f.Interval.Seconds()}
+	for _, l := range f.Links {
+		ls := linkSummaryJSON{
+			Name: l.Name, Fiber: l.Fiber, Wavelength: l.Wavelength,
+			Baseline: l.BaselinedB, Samples: len(l.Samples),
+		}
+		if len(l.Samples) > 0 {
+			lo, hi, sum := l.Samples[0], l.Samples[0], 0.0
+			for _, v := range l.Samples {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+				sum += v
+			}
+			ls.MinSNR, ls.MaxSNR = lo, hi
+			ls.MeanSNR = sum / float64(len(l.Samples))
+		}
+		out.Links = append(out.Links, ls)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/snr"
+)
+
+func sampleFleet() *Fleet {
+	f := NewFleet()
+	r := rng.New(3)
+	for i := 0; i < 3; i++ {
+		samples := make([]float64, 100)
+		for j := range samples {
+			samples[j] = 15 + r.NormFloat64()
+		}
+		f.Add(LinkRecord{
+			Name:       "fiber000-wl0" + string(rune('0'+i)),
+			Fiber:      0,
+			Wavelength: i,
+			BaselinedB: 15,
+			Samples:    samples,
+		})
+	}
+	return f
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sampleFleet()
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadFleet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Interval != f.Interval {
+		t.Fatalf("interval %v != %v", g.Interval, f.Interval)
+	}
+	if len(g.Links) != len(f.Links) {
+		t.Fatalf("links %d != %d", len(g.Links), len(f.Links))
+	}
+	for i := range f.Links {
+		a, b := f.Links[i], g.Links[i]
+		if a.Name != b.Name || a.Fiber != b.Fiber || a.Wavelength != b.Wavelength {
+			t.Fatalf("link %d metadata mismatch", i)
+		}
+		if a.BaselinedB != b.BaselinedB {
+			t.Fatalf("link %d baseline mismatch", i)
+		}
+		if len(a.Samples) != len(b.Samples) {
+			t.Fatalf("link %d sample count mismatch", i)
+		}
+		for j := range a.Samples {
+			// float32 round trip: within 1e-4 dB.
+			if math.Abs(a.Samples[j]-b.Samples[j]) > 1e-4 {
+				t.Fatalf("link %d sample %d: %v vs %v", i, j, a.Samples[j], b.Samples[j])
+			}
+		}
+	}
+}
+
+func TestRoundTripEmptyFleet(t *testing.T) {
+	f := NewFleet()
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadFleet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Links) != 0 {
+		t.Fatal("empty fleet round-tripped with links")
+	}
+}
+
+func TestRoundTripEmptySamples(t *testing.T) {
+	f := NewFleet()
+	f.Add(LinkRecord{Name: "x"})
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadFleet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Links) != 1 || len(g.Links[0].Samples) != 0 {
+		t.Fatal("empty-samples link mangled")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := ReadFleet(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	f := sampleFleet()
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{2, 5, 10, len(data) / 2, len(data) - 1} {
+		if _, err := ReadFleet(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	f := NewFleet()
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version low byte
+	if _, err := ReadFleet(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReadRejectsHugeCounts(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("RWCT")
+	buf.Write([]byte{1, 0})                   // version 1
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 1}) // interval (huge but positive LE? -> this is 0x0100000000000000)
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // nLinks absurd
+	if _, err := ReadFleet(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("absurd link count accepted")
+	}
+}
+
+func TestFleetDuration(t *testing.T) {
+	f := NewFleet()
+	f.Add(LinkRecord{Samples: make([]float64, 4)})
+	f.Add(LinkRecord{Samples: make([]float64, 8)})
+	if f.Duration() != 8*snr.SampleInterval {
+		t.Fatalf("duration = %v", f.Duration())
+	}
+	if NewFleet().Duration() != 0 {
+		t.Fatal("empty fleet duration nonzero")
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	if NewFleet().Interval != 15*time.Minute {
+		t.Fatalf("interval = %v", NewFleet().Interval)
+	}
+}
+
+func TestSummaryJSON(t *testing.T) {
+	f := sampleFleet()
+	var buf bytes.Buffer
+	if err := f.WriteSummaryJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		IntervalSeconds float64 `json:"interval_seconds"`
+		Links           []struct {
+			Name    string  `json:"name"`
+			MeanSNR float64 `json:"mean_snr_db"`
+			MinSNR  float64 `json:"min_snr_db"`
+			MaxSNR  float64 `json:"max_snr_db"`
+			Samples int     `json:"samples"`
+		} `json:"links"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.IntervalSeconds != 900 {
+		t.Fatalf("interval seconds = %v", parsed.IntervalSeconds)
+	}
+	if len(parsed.Links) != 3 {
+		t.Fatalf("links = %d", len(parsed.Links))
+	}
+	for _, l := range parsed.Links {
+		if l.Samples != 100 {
+			t.Fatalf("samples = %d", l.Samples)
+		}
+		if l.MeanSNR < 13 || l.MeanSNR > 17 {
+			t.Fatalf("mean = %v", l.MeanSNR)
+		}
+		if l.MinSNR > l.MeanSNR || l.MaxSNR < l.MeanSNR {
+			t.Fatal("min/mean/max ordering broken")
+		}
+	}
+}
+
+func TestWriteToByteCount(t *testing.T) {
+	f := sampleFleet()
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+}

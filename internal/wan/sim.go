@@ -1,0 +1,478 @@
+package wan
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/modulation"
+	"repro/internal/qot"
+	"repro/internal/rng"
+	"repro/internal/snr"
+	"repro/internal/te"
+)
+
+// Policy selects how wavelength capacities are operated.
+type Policy int
+
+const (
+	// PolicyStatic100 is today's operation: every wavelength fixed at
+	// 100 Gbps, declared down when SNR < 6.5 dB.
+	PolicyStatic100 Policy = iota
+	// PolicyStaticMax configures each wavelength statically at its
+	// long-run feasible capacity — the "tempting" §2.1 alternative that
+	// harvests throughput but multiplies failures (Figure 3).
+	PolicyStaticMax
+	// PolicyDynamic adapts each wavelength to its SNR through the
+	// paper's graph abstraction: upgrades are TE decisions on the
+	// augmented topology; SNR drops force capacity flaps instead of
+	// failures.
+	PolicyDynamic
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyStatic100:
+		return "static-100G"
+	case PolicyStaticMax:
+		return "static-max"
+	case PolicyDynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// SimConfig configures a backbone simulation.
+type SimConfig struct {
+	Net *Network
+	// Rounds is the number of TE recomputation rounds.
+	Rounds int
+	// RoundInterval is the wall-clock time between TE rounds.
+	RoundInterval time.Duration
+	// Seed drives SNR evolution and traffic churn.
+	Seed uint64
+	// DemandFraction scales total offered traffic as a fraction of the
+	// backbone's aggregate static-100G IP capacity.
+	DemandFraction float64
+	// DemandSigma is the per-round log-normal demand churn.
+	DemandSigma float64
+	// TE is the traffic-engineering algorithm (default Greedy — the
+	// cost-aware one the abstraction pairs best with).
+	TE te.Algorithm
+	// Ladder is the modulation ladder (default modulation.Default).
+	Ladder *modulation.Ladder
+	// Fiber is the per-fiber SNR process (default calibrated params).
+	Fiber snr.FiberParams
+	// Penalty maps link state to augmentation costs (default
+	// PenaltyTrafficProportional).
+	Penalty core.PenaltyFunc
+	// ChangeDowntime is the per-capacity-change traffic interruption
+	// (68 s for power-cycle BVTs, 35 ms for hitless ones).
+	ChangeDowntime time.Duration
+	// LengthAware derives each fiber's baseline SNR from its physical
+	// length (edge Weight × 100 km) through the QoT model, so long
+	// links have less upgrade headroom than metro hops. When false,
+	// every fiber draws from the same calibrated prior.
+	LengthAware bool
+	// QoT holds the line-system parameters for LengthAware mode
+	// (default qot.Default()).
+	QoT qot.Params
+}
+
+// applyDefaults fills zero values.
+func (c *SimConfig) applyDefaults() {
+	if c.RoundInterval == 0 {
+		c.RoundInterval = 6 * time.Hour
+	}
+	if c.TE == nil {
+		c.TE = te.Greedy{}
+	}
+	if c.Ladder == nil {
+		c.Ladder = modulation.Default()
+	}
+	if c.Fiber.Wavelengths == 0 {
+		c.Fiber = snr.DefaultFiberParams()
+	}
+	if c.Net != nil {
+		c.Fiber.Wavelengths = c.Net.Wavelengths
+	}
+	if c.Penalty == nil {
+		c.Penalty = core.PenaltyTrafficProportional
+	}
+	if c.ChangeDowntime == 0 {
+		c.ChangeDowntime = 68 * time.Second
+	}
+	if c.DemandFraction == 0 {
+		c.DemandFraction = 0.6
+	}
+	if c.LengthAware && c.QoT == (qot.Params{}) {
+		c.QoT = qot.Default()
+	}
+}
+
+// Validate checks the configuration.
+func (c *SimConfig) Validate() error {
+	if c.Net == nil {
+		return fmt.Errorf("wan: nil network")
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("wan: need >= 1 round")
+	}
+	if c.DemandFraction < 0 {
+		return fmt.Errorf("wan: negative demand fraction")
+	}
+	if c.DemandSigma < 0 {
+		return fmt.Errorf("wan: negative demand sigma")
+	}
+	return nil
+}
+
+// RoundMetrics records one TE round under one policy.
+type RoundMetrics struct {
+	Round int
+	// OfferedGbps is the total demand volume this round.
+	OfferedGbps float64
+	// ShippedGbps is the TE throughput.
+	ShippedGbps float64
+	// CapacityGbps is the total IP capacity available this round.
+	CapacityGbps float64
+	// Changes counts wavelength capacity changes (up or down).
+	Changes int
+	// LinksDark counts IP adjacencies with zero capacity.
+	LinksDark int
+	// DisruptedGbpsSec estimates traffic hit by reconfigurations:
+	// Σ over changed links of (traffic on link × downtime seconds).
+	DisruptedGbpsSec float64
+}
+
+// SatisfiedFraction returns shipped/offered (1 when nothing offered).
+func (m RoundMetrics) SatisfiedFraction() float64 {
+	if m.OfferedGbps <= 0 {
+		return 1
+	}
+	return m.ShippedGbps / m.OfferedGbps
+}
+
+// Result is a full simulation run for one policy.
+type Result struct {
+	Policy Policy
+	Rounds []RoundMetrics
+}
+
+// MeanSatisfied averages the satisfied fraction over rounds.
+func (r *Result) MeanSatisfied() float64 {
+	if len(r.Rounds) == 0 {
+		return 0
+	}
+	var s float64
+	for _, m := range r.Rounds {
+		s += m.SatisfiedFraction()
+	}
+	return s / float64(len(r.Rounds))
+}
+
+// TotalShipped sums throughput over rounds.
+func (r *Result) TotalShipped() float64 {
+	var s float64
+	for _, m := range r.Rounds {
+		s += m.ShippedGbps
+	}
+	return s
+}
+
+// TotalChanges sums capacity changes over rounds.
+func (r *Result) TotalChanges() int {
+	n := 0
+	for _, m := range r.Rounds {
+		n += m.Changes
+	}
+	return n
+}
+
+// Simulation holds pre-generated SNR state so different policies run
+// against identical conditions.
+type Simulation struct {
+	cfg SimConfig
+	// snrAt[f][w][r] is the SNR of fiber f, wavelength w at round r.
+	snrAt [][][]float64
+	// feasible capacity cache per (fiber, wavelength, round).
+	demandsBase []te.Demand
+}
+
+// NewSimulation generates the SNR evolution and base traffic matrix.
+func NewSimulation(cfg SimConfig) (*Simulation, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+
+	// Samples needed to cover the horizon at telemetry cadence.
+	horizon := time.Duration(cfg.Rounds) * cfg.RoundInterval
+	nSamples := snr.SamplesFor(horizon)
+	if nSamples < cfg.Rounds {
+		nSamples = cfg.Rounds
+	}
+	stride := nSamples / cfg.Rounds
+
+	// In length-aware mode, derive each fiber's baseline SNR from its
+	// physical length (edge Weight is distance in 100 km units).
+	fiberLenKm := make([]float64, cfg.Net.NumFibers)
+	if cfg.LengthAware {
+		for _, e := range cfg.Net.G.Edges() {
+			fiberLenKm[cfg.Net.FiberOf[e.ID]] = e.Weight * 100
+		}
+	}
+
+	sim := &Simulation{cfg: cfg}
+	sim.snrAt = make([][][]float64, cfg.Net.NumFibers)
+	for f := 0; f < cfg.Net.NumFibers; f++ {
+		fp := cfg.Fiber
+		if cfg.LengthAware {
+			lengthKm := fiberLenKm[f]
+			if lengthKm < cfg.QoT.SpanKm {
+				lengthKm = cfg.QoT.SpanKm
+			}
+			baseline, err := cfg.QoT.SNRdB(lengthKm)
+			if err != nil {
+				return nil, err
+			}
+			fp.BaselineMeandB = baseline
+			// Per-wavelength spread shrinks: channels of one fiber
+			// share the line system; only ripple differs.
+			fp.BaselineStddB = 0.8
+		}
+		fiber, err := snr.GenerateFiber(fp, nSamples, root.Split())
+		if err != nil {
+			return nil, err
+		}
+		sim.snrAt[f] = make([][]float64, cfg.Net.Wavelengths)
+		for w, s := range fiber.Series {
+			row := make([]float64, cfg.Rounds)
+			for r := 0; r < cfg.Rounds; r++ {
+				row[r] = s.Samples[r*stride]
+			}
+			sim.snrAt[f][w] = row
+		}
+	}
+
+	// Base traffic: DemandFraction of aggregate static capacity.
+	staticTotal := float64(cfg.Net.G.NumEdges()) * float64(cfg.Net.Wavelengths) * 100
+	demands, err := GravityTraffic(cfg.Net, cfg.DemandFraction*staticTotal)
+	if err != nil {
+		return nil, err
+	}
+	sim.demandsBase = demands
+	return sim, nil
+}
+
+// FeasibleAt returns the feasible capacity of fiber f wavelength w at
+// round r (0 when no rung is feasible).
+func (s *Simulation) FeasibleAt(f, w, r int) modulation.Gbps {
+	m, ok := s.cfg.Ladder.FeasibleCapacity(s.snrAt[f][w][r])
+	if !ok {
+		return 0
+	}
+	return m.Capacity
+}
+
+// Run executes the simulation under one policy.
+func (s *Simulation) Run(policy Policy) (*Result, error) {
+	cfg := s.cfg
+	net := cfg.Net
+	res := &Result{Policy: policy, Rounds: make([]RoundMetrics, 0, cfg.Rounds)}
+
+	// Per-wavelength configured capacity. Static policies fix it;
+	// dynamic evolves it.
+	configured := make([][]modulation.Gbps, net.NumFibers)
+	for f := range configured {
+		configured[f] = make([]modulation.Gbps, net.Wavelengths)
+		for w := range configured[f] {
+			switch policy {
+			case PolicyStaticMax:
+				configured[f][w] = s.staticMaxCapacity(f, w)
+			default:
+				configured[f][w] = 100
+			}
+		}
+	}
+
+	trafficRng := rng.New(cfg.Seed ^ 0x5eed)
+	prevFlow := make([]float64, net.G.NumEdges())
+
+	for r := 0; r < cfg.Rounds; r++ {
+		demands := s.demandsBase
+		if cfg.DemandSigma > 0 {
+			demands = PerturbTraffic(demands, cfg.DemandSigma, trafficRng)
+		}
+		var offered float64
+		for _, d := range demands {
+			offered += d.Volume
+		}
+
+		metrics := RoundMetrics{Round: r, OfferedGbps: offered}
+
+		// Build this round's IP capacities; count forced changes.
+		g := net.G.Clone()
+		switch policy {
+		case PolicyStatic100, PolicyStaticMax:
+			for _, e := range g.Edges() {
+				f := net.FiberOf[e.ID]
+				var capSum modulation.Gbps
+				for w := 0; w < net.Wavelengths; w++ {
+					th, err := cfg.Ladder.ThresholdFor(configured[f][w])
+					if err != nil {
+						return nil, err
+					}
+					if s.snrAt[f][w][r] >= th {
+						capSum += configured[f][w]
+					}
+					// Below threshold: wavelength is DOWN (binary rule);
+					// not a capacity change, an outage.
+				}
+				g.SetCapacity(e.ID, float64(capSum))
+			}
+			alloc, err := cfg.TE.Allocate(g, demands)
+			if err != nil {
+				return nil, err
+			}
+			metrics.ShippedGbps = alloc.Throughput
+			metrics.CapacityGbps = g.TotalCapacity()
+			copy(prevFlow, alloc.EdgeFlow)
+
+		case PolicyDynamic:
+			// 1. Forced downgrades: SNR no longer supports the
+			//    configured rate → flap down to the feasible rate
+			//    (possibly 0 on loss of light).
+			changes := 0
+			var disrupted float64
+			for f := 0; f < net.NumFibers; f++ {
+				for w := 0; w < net.Wavelengths; w++ {
+					feas := s.FeasibleAt(f, w, r)
+					if feas < configured[f][w] {
+						configured[f][w] = feas
+						changes++
+					}
+				}
+			}
+			// 2. Build the TE input: current capacities plus upgrade
+			//    headroom, traffic annotations from last round.
+			top := core.NewTopology(g)
+			for _, e := range g.Edges() {
+				f := net.FiberOf[e.ID]
+				var cur, headroom modulation.Gbps
+				for w := 0; w < net.Wavelengths; w++ {
+					cur += configured[f][w]
+					if feas := s.FeasibleAt(f, w, r); feas > configured[f][w] {
+						headroom += feas - configured[f][w]
+					}
+				}
+				g.SetCapacity(e.ID, float64(cur))
+				if headroom > 0 {
+					if err := top.SetUpgrade(e.ID, float64(headroom), 1); err != nil {
+						return nil, err
+					}
+				}
+				if err := top.SetTraffic(e.ID, prevFlow[e.ID]); err != nil {
+					return nil, err
+				}
+			}
+			aug, err := core.Augment(top, cfg.Penalty)
+			if err != nil {
+				return nil, err
+			}
+			alloc, err := cfg.TE.Allocate(aug.Graph, demands)
+			if err != nil {
+				return nil, err
+			}
+			dec, err := aug.Translate(graph.FlowResult{
+				Value:    alloc.Throughput,
+				EdgeFlow: alloc.EdgeFlow,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// 3. Apply upgrades: raise every wavelength of a changed
+			//    link to its feasible capacity.
+			for _, ch := range dec.Changes {
+				f := net.FiberOf[ch.Edge]
+				for w := 0; w < net.Wavelengths; w++ {
+					if feas := s.FeasibleAt(f, w, r); feas > configured[f][w] {
+						configured[f][w] = feas
+						changes++
+					}
+				}
+				disrupted += prevFlow[ch.Edge] * cfg.ChangeDowntime.Seconds()
+			}
+			metrics.Changes = changes
+			metrics.DisruptedGbpsSec = disrupted
+			metrics.ShippedGbps = dec.Value
+			// Capacity after decisions.
+			var capTotal float64
+			for _, e := range net.G.Edges() {
+				f := net.FiberOf[e.ID]
+				for w := 0; w < net.Wavelengths; w++ {
+					capTotal += float64(configured[f][w])
+				}
+			}
+			metrics.CapacityGbps = capTotal
+			copy(prevFlow, dec.EdgeFlow)
+
+		default:
+			return nil, fmt.Errorf("wan: unknown policy %v", policy)
+		}
+
+		// Dark links: zero-capacity adjacencies this round.
+		dark := 0
+		for _, e := range net.G.Edges() {
+			f := net.FiberOf[e.ID]
+			var c modulation.Gbps
+			for w := 0; w < net.Wavelengths; w++ {
+				switch policy {
+				case PolicyDynamic:
+					c += configured[f][w]
+				default:
+					th, _ := cfg.Ladder.ThresholdFor(configured[f][w])
+					if s.snrAt[f][w][r] >= th {
+						c += configured[f][w]
+					}
+				}
+			}
+			if c == 0 {
+				dark++
+			}
+		}
+		metrics.LinksDark = dark
+
+		res.Rounds = append(res.Rounds, metrics)
+	}
+	return res, nil
+}
+
+// staticMaxCapacity is the feasible capacity a static planner would
+// pick for a wavelength from its whole-horizon SNR (the §2.1
+// "configure capacities statically near the actual SNR" counterfactual,
+// using the 5th-percentile-like lower HDR bound approximated by the
+// minimum of per-round samples excluding total outages).
+func (s *Simulation) staticMaxCapacity(f, w int) modulation.Gbps {
+	row := s.snrAt[f][w]
+	// Lower bound: 5th percentile of round samples.
+	sorted := append([]float64(nil), row...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	lo := sorted[len(sorted)/20]
+	m, ok := s.cfg.Ladder.FeasibleCapacity(lo)
+	if !ok {
+		return s.cfg.Ladder.Min().Capacity
+	}
+	return m.Capacity
+}

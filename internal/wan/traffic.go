@@ -1,0 +1,83 @@
+package wan
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/te"
+)
+
+// GravityTraffic builds a demand set with the standard gravity model:
+// demand(i→j) ∝ w_i·w_j, scaled so the total demand equals
+// totalVolume. Pairs with either weight zero are skipped.
+func GravityTraffic(n *Network, totalVolume float64) ([]te.Demand, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if totalVolume < 0 {
+		return nil, fmt.Errorf("wan: negative traffic volume")
+	}
+	var mass float64
+	nn := n.G.NumNodes()
+	for i := 0; i < nn; i++ {
+		for j := 0; j < nn; j++ {
+			if i == j {
+				continue
+			}
+			mass += n.NodeWeights[i] * n.NodeWeights[j]
+		}
+	}
+	if mass == 0 {
+		return nil, fmt.Errorf("wan: all node weights zero")
+	}
+	var out []te.Demand
+	for i := 0; i < nn; i++ {
+		for j := 0; j < nn; j++ {
+			if i == j {
+				continue
+			}
+			v := totalVolume * n.NodeWeights[i] * n.NodeWeights[j] / mass
+			if v <= 0 {
+				continue
+			}
+			out = append(out, te.Demand{
+				Src: graph.NodeID(i), Dst: graph.NodeID(j), Volume: v,
+			})
+		}
+	}
+	return out, nil
+}
+
+// TopKDemands keeps only the k largest demands (production TE commonly
+// engineers the heavy hitters and default-routes the tail). Demands are
+// returned largest-first.
+func TopKDemands(demands []te.Demand, k int) []te.Demand {
+	if k <= 0 || len(demands) == 0 {
+		return nil
+	}
+	sorted := append([]te.Demand(nil), demands...)
+	// Insertion sort descending by volume (k and n are small here).
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Volume > sorted[j-1].Volume; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+// PerturbTraffic returns a copy of demands with each volume multiplied
+// by a log-normal factor — the round-to-round traffic churn that makes
+// TE re-run (the paper's "next round of TE computation" with increased
+// demands).
+func PerturbTraffic(demands []te.Demand, sigma float64, r *rng.Source) []te.Demand {
+	out := make([]te.Demand, len(demands))
+	for i, d := range demands {
+		d.Volume *= r.LogNormal(0, sigma)
+		out[i] = d
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package rwc
+
+import (
+	"repro/internal/graph"
+	"repro/internal/qot"
+	"repro/internal/spectrum"
+)
+
+// Optical layer: lightpath provisioning (the process that creates the
+// paper's wavelength = IP-link mapping) and the quality-of-transmission
+// budget that links fiber length to SNR.
+
+type (
+	// OpticalNetwork provisions lightpaths over a fiber plant with
+	// first-fit wavelength assignment and QoT admission.
+	OpticalNetwork = spectrum.Network
+	// OpticalConfig tunes channels, candidate routes, and the default
+	// deployment capacity.
+	OpticalConfig = spectrum.Config
+	// Lightpath is one provisioned wavelength service.
+	Lightpath = spectrum.Lightpath
+	// LightpathID identifies a lightpath.
+	LightpathID = spectrum.LightpathID
+	// QoTParams is the optical line-system budget (spans, amplifier
+	// noise, launch power, nonlinear penalty).
+	QoTParams = qot.Params
+)
+
+// NewOpticalNetwork wraps a fiber graph (edge Weight = length in km).
+func NewOpticalNetwork(fibers *Graph, cfg OpticalConfig) (*OpticalNetwork, error) {
+	return spectrum.NewNetwork(fibers, cfg)
+}
+
+// DefaultQoT returns 2017-era long-haul line-system parameters.
+func DefaultQoT() QoTParams { return qot.Default() }
+
+// LightpathMapping translates IP edges back to lightpaths after
+// spectrum.Network.ToTopology.
+type LightpathMapping = map[graph.EdgeID]spectrum.LightpathID

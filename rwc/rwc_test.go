@@ -1,0 +1,107 @@
+package rwc_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/rwc"
+)
+
+// TestQuickstartFlow exercises the doc-comment example end to end: the
+// public API must support build → upgrade → augment → TE → translate.
+func TestQuickstartFlow(t *testing.T) {
+	g := rwc.NewGraph()
+	a, b := g.AddNode("A"), g.AddNode("B")
+	link := g.AddEdge(rwc.Edge{From: a, To: b, Capacity: 100, Weight: 1})
+
+	top := rwc.NewTopology(g)
+	if err := top.SetUpgrade(link, 100, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	aug, err := rwc.Augment(top, rwc.PenaltyFromMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := rwc.Greedy{}.Allocate(aug.Graph, []rwc.Demand{{Src: a, Dst: b, Volume: 150}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := aug.Translate(rwc.FlowResult{Value: alloc.Throughput, EdgeFlow: alloc.EdgeFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dec.Value-150) > 1e-9 {
+		t.Fatalf("shipped %v, want 150", dec.Value)
+	}
+	if len(dec.Changes) != 1 || dec.Changes[0].NewCapacity != 200 {
+		t.Fatalf("changes: %+v", dec.Changes)
+	}
+}
+
+func TestTheorem1ThroughPublicAPI(t *testing.T) {
+	g := rwc.NewGraph()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	e1 := g.AddEdge(rwc.Edge{From: a, To: b, Capacity: 100})
+	e2 := g.AddEdge(rwc.Edge{From: b, To: c, Capacity: 100})
+	top := rwc.NewTopology(g)
+	if err := top.SetUpgrade(e1, 50, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.SetUpgrade(e2, 50, 10); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rwc.CheckTheorem1(top, a, c, rwc.PenaltyTrafficProportional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds || rep.FullValue != 150 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestLadderThroughPublicAPI(t *testing.T) {
+	l := rwc.DefaultLadder()
+	m, ok := l.FeasibleCapacity(14.2)
+	if !ok || m.Capacity != rwc.Gbps(175) {
+		t.Fatalf("feasible at 14.2 dB = %v, %v", m.Capacity, ok)
+	}
+}
+
+func TestTransceiverThroughPublicAPI(t *testing.T) {
+	tr, err := rwc.NewTransceiver(rwc.TransceiverConfig{
+		InitialMode: 100, ChannelSNRdB: 20, HotCapable: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := rwc.NewDriver(tr, nil)
+	rep, err := drv.ChangeModulation(150, rwc.MethodHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.To.Capacity != 150 {
+		t.Fatalf("change report: %+v", rep)
+	}
+}
+
+func TestTEAlgorithmsThroughPublicAPI(t *testing.T) {
+	g := rwc.NewGraph()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddEdge(rwc.Edge{From: a, To: b, Capacity: 10, Weight: 1})
+	demands := []rwc.Demand{{Src: a, Dst: b, Volume: 5}}
+	for _, alg := range []rwc.Algorithm{
+		rwc.ShortestPath{}, rwc.Greedy{}, rwc.KPath{}, rwc.MaxConcurrent{},
+	} {
+		alloc, err := alg.Allocate(g, demands)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if err := rwc.CheckFeasible(g, alloc); err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if alloc.Throughput < 4.5 {
+			t.Fatalf("%s shipped %v", alg.Name(), alloc.Throughput)
+		}
+	}
+}
