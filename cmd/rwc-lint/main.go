@@ -1,0 +1,171 @@
+// Command rwc-lint runs the repository's custom static-analysis suite
+// (see internal/lint): determinism and unit-hygiene analyzers the
+// reproduction's correctness argument depends on.
+//
+// Usage:
+//
+//	rwc-lint [flags] [package patterns]
+//
+// With no patterns it checks ./... — the whole module, test files
+// included. It prints one line per finding and exits non-zero if any
+// finding survives //nolint filtering, so `make lint` and CI can gate
+// on it. Run it from inside the module (package resolution shells out
+// to `go list`).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list available analyzers and exit")
+		tests    = flag.Bool("tests", true, "also check _test.go files")
+		maxDiags = flag.Int("max", 0, "stop after this many findings (0 = unlimited)")
+	)
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		analyzers = selectAnalyzers(analyzers, *only)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	loader := lint.NewLoader()
+	var loaded []*lint.Package
+	for _, p := range pkgs {
+		for _, group := range p.fileGroups(*tests) {
+			if len(group) == 0 {
+				continue
+			}
+			pkg, err := loader.LoadFiles(p.ImportPath, group)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			loaded = append(loaded, pkg)
+		}
+	}
+
+	diags, err := lint.Run(loaded, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for i, d := range diags {
+		if *maxDiags > 0 && i >= *maxDiags {
+			fmt.Fprintf(os.Stderr, "rwc-lint: %d further findings suppressed by -max\n", len(diags)-i)
+			break
+		}
+		fmt.Printf("%s: %s (%s)\n", loader.Fset().Position(d.Pos), d.Message, d.Analyzer.Name)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rwc-lint: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func selectAnalyzers(all []*lint.Analyzer, only string) []*lint.Analyzer {
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			fatalf("unknown analyzer %q (try -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// listedPackage is the subset of `go list -json` output the driver
+// needs to reconstruct each package's file groups.
+type listedPackage struct {
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// fileGroups returns up to two absolute-path file groups: the package
+// proper (with in-package tests) and, separately, the external _test
+// package. Both type-check under the same import path so path-keyed
+// lint policies (internal/rng exemption, simulation-package bans)
+// apply to both halves. Cgo files are excluded: go/types cannot check
+// import "C" without a full cgo preprocessing pass, and the module is
+// cgo-free by policy.
+func (p *listedPackage) fileGroups(tests bool) [][]string {
+	abs := func(names []string) []string {
+		out := make([]string, len(names))
+		for i, n := range names {
+			out[i] = filepath.Join(p.Dir, n)
+		}
+		return out
+	}
+	main := abs(p.GoFiles)
+	if tests {
+		main = append(main, abs(p.TestGoFiles)...)
+	}
+	groups := [][]string{main}
+	if tests && len(p.XTestGoFiles) > 0 {
+		groups = append(groups, abs(p.XTestGoFiles))
+	}
+	return groups
+}
+
+func goList(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

@@ -121,7 +121,7 @@ func (c *Controller) applyChangeBudget(orders []Order, flowOnFake map[graph.Edge
 	sorted := append([]Order(nil), orders...)
 	sort.Slice(sorted, func(i, j int) bool {
 		fi, fj := flowOnFake[sorted[i].Edge], flowOnFake[sorted[j].Edge]
-		if fi != fj {
+		if fi != fj { //nolint:nofloateq // comparator tie-break: tolerance would break strict weak ordering
 			return fi > fj
 		}
 		return sorted[i].Edge < sorted[j].Edge

@@ -143,7 +143,7 @@ func (a *Augmentation) MinimizeActivations(src, dst graph.NodeID, res graph.Flow
 		}
 		// Try the least-used activation first.
 		sort.Slice(acts, func(i, j int) bool {
-			if acts[i].flow != acts[j].flow {
+			if acts[i].flow != acts[j].flow { //nolint:nofloateq // comparator tie-break: tolerance would break strict weak ordering
 				return acts[i].flow < acts[j].flow
 			}
 			return acts[i].fake < acts[j].fake

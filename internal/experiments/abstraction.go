@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/stats"
 	"repro/internal/te"
 )
 
@@ -184,7 +185,8 @@ func Figure8(o Options) (*Figure8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.UpgradeInstructed = len(dec.Changes) == 1 && dec.Changes[0].NewCapacity == 200
+	res.UpgradeInstructed = len(dec.Changes) == 1 &&
+		stats.ApproxInDelta(dec.Changes[0].NewCapacity, 200, stats.DefaultTol)
 	return res, nil
 }
 

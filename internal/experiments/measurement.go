@@ -234,7 +234,7 @@ func Figure2b(o Options) (*Figure2bResult, error) {
 	for _, c := range res.Capacities {
 		share := 0.0
 		for _, v := range caps {
-			if v == float64(c) {
+			if stats.ApproxInDelta(v, float64(c), stats.DefaultTol) {
 				share++
 			}
 		}

@@ -185,7 +185,8 @@ func (g *Graph) WidestPath(src, dst NodeID) (Path, float64, bool) {
 				continue
 			}
 			if best == NoNode || width[v] > width[best] ||
-				(width[v] == width[best] && hops[v] < hops[best]) {
+				(width[v] == width[best] && hops[v] < hops[best]) { //nolint:nofloateq // tie-break on exact copies of the same min() value
+
 				best = NodeID(v)
 			}
 		}
@@ -202,7 +203,7 @@ func (g *Graph) WidestPath(src, dst NodeID) (Path, float64, bool) {
 				continue
 			}
 			w := math.Min(width[best], e.Capacity)
-			if w > width[e.To] || (w == width[e.To] && hops[best]+1 < hops[e.To]) {
+			if w > width[e.To] || (w == width[e.To] && hops[best]+1 < hops[e.To]) { //nolint:nofloateq // tie-break on exact copies of the same min() value
 				width[e.To] = w
 				hops[e.To] = hops[best] + 1
 				prevEdge[e.To] = id

@@ -230,7 +230,7 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int) []Path {
 		}
 		sort.Slice(candidates, func(a, b int) bool {
 			wa, wb := candidates[a].WeightOn(g), candidates[b].WeightOn(g)
-			if wa != wb {
+			if wa != wb { //nolint:nofloateq // comparator tie-break: tolerance would break strict weak ordering
 				return wa < wb
 			}
 			return candidates[a].Len() < candidates[b].Len()

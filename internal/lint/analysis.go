@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer so analyzers written here
+// can be ported to the x/tools multichecker mechanically if the
+// dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //nolint:<name> suppression comments. It must be a valid
+	// identifier.
+	Name string
+	// Doc is a one-paragraph description shown by `rwc-lint -list`.
+	Doc string
+	// Run performs the check on one package and reports findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer,
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// All returns the full rwc-lint suite in stable order. Every analyzer
+// listed here runs under `make lint` and must hold repo-wide.
+func All() []*Analyzer {
+	return []*Analyzer{NoRandGlobal, NoWallTime, NoFloatEq, UnitMix}
+}
+
+// pathHasSegments reports whether the slash-separated package path
+// contains want as a consecutive run of segments. It is the matcher
+// behind every per-package allow/forbid list, so that e.g.
+// "internal/te" matches "repro/internal/te" and any of its
+// sub-packages but never "repro/internal/telemetry".
+func pathHasSegments(path, want string) bool {
+	return strings.Contains("/"+path+"/", "/"+want+"/")
+}
+
+// nolintRE matches suppression comments: //nolint:name1,name2 with an
+// optional trailing justification.
+var nolintRE = regexp.MustCompile(`^//\s*nolint:([a-zA-Z0-9_,]+)`)
+
+// nolintLines maps file name → line → set of suppressed analyzer
+// names ("all" suppresses everything).
+type nolintLines map[string]map[int]map[string]bool
+
+func collectNolint(fset *token.FileSet, files []*ast.File) nolintLines {
+	out := nolintLines{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := nolintRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					out[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					byLine[pos.Line] = names
+				}
+				for _, n := range strings.Split(m[1], ",") {
+					names[strings.TrimSpace(n)] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (n nolintLines) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	names := n[pos.Filename][pos.Line]
+	return names["all"] || names[d.Analyzer.Name]
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics sorted by position. //nolint-suppressed findings are
+// dropped here so every analyzer gets suppression support for free.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		nolint := collectNolint(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			var raw []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range raw {
+				if !nolint.suppressed(pkg.Fset, d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		sortDiagnostics(pkgs[0].Fset, diags)
+	}
+	return diags, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer.Name < diags[j].Analyzer.Name
+	})
+}

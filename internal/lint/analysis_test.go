@@ -1,0 +1,68 @@
+package lint
+
+import "testing"
+
+func TestPathHasSegments(t *testing.T) {
+	cases := []struct {
+		path, want string
+		hit        bool
+	}{
+		{"repro/internal/te", "internal/te", true},
+		{"repro/internal/te/kpath", "internal/te", true},
+		{"repro/internal/telemetry", "internal/te", false},
+		{"internal/te", "internal/te", true},
+		{"repro/internal/rng", "internal/rng", true},
+		{"repro/internal/rngx", "internal/rng", false},
+	}
+	for _, c := range cases {
+		if got := pathHasSegments(c.path, c.want); got != c.hit {
+			t.Errorf("pathHasSegments(%q, %q) = %v, want %v", c.path, c.want, got, c.hit)
+		}
+	}
+}
+
+func TestNameUnit(t *testing.T) {
+	cases := []struct {
+		name string
+		want unit
+	}{
+		{"snrdB", unitDB},
+		{"SNRdB", unitDB},
+		{"LaunchPowerdBm", unitDB},
+		{"marginDB", unitDB},
+		{"db", unitDB},
+		{"rateGbps", unitGbps},
+		{"Gbps", unitGbps},
+		{"AttenuationdBPerKm", unitNone}, // dB/km, not a bare dB
+		{"lengthKm", unitNone},
+		{"database", unitNone},
+		{"dBase", unitNone},
+	}
+	for _, c := range cases {
+		if got := nameUnit(c.name); got != c.want {
+			t.Errorf("nameUnit(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestNolintParsing(t *testing.T) {
+	loader := NewLoader()
+	pkgs, err := loader.LoadDir("nofloateq", "testdata/src/nofloateq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		nl := collectNolint(pkg.Fset, pkg.Files)
+		found := false
+		for _, byLine := range nl {
+			for _, names := range byLine {
+				if names["nofloateq"] {
+					found = true
+				}
+			}
+		}
+		if len(pkg.Files) > 1 && !found {
+			t.Fatalf("expected a //nolint:nofloateq directive in the nofloateq fixture")
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package lint is the repository's custom static-analysis suite
+// (rwc-lint): four repo-specific analyzers enforcing the determinism
+// and unit-hygiene invariants the reproduction depends on.
+//
+// The paper's core claim (Theorem 1: min-cost max-flow on the
+// augmented graph G′ ≡ max-flow under dynamic capacities) only
+// reproduces if simulation runs are bit-for-bit deterministic and if
+// dB and Gbps quantities never cross silently. internal/rng exists
+// precisely because the math/rand global source is process-wide
+// mutable state; this package is what *enforces* that discipline:
+//
+//   - norandglobal — forbids math/rand and math/rand/v2 outside
+//     internal/rng, so every stochastic path (SNR process, failure
+//     tickets, traffic matrices) is seed-threaded through
+//     repro/internal/rng.
+//   - nowalltime — forbids time.Now / time.Sleep (and the derived
+//     wall-clock helpers time.Since, time.Until, time.After,
+//     time.Tick, time.NewTimer, time.NewTicker) inside the simulation
+//     and experiment packages (internal/snr, internal/dataset,
+//     internal/experiments, internal/core, internal/te,
+//     internal/scenario). Driver code (internal/telemetry,
+//     internal/bvt, cmd/, examples/) and _test.go files may use the
+//     wall clock.
+//   - nofloateq — flags direct == / != between float operands in
+//     non-test code, pointing at the tolerance helpers in
+//     internal/stats (ApproxEqual, ApproxInDelta). Comparison against
+//     an exact constant zero is allowed (zero is a sentinel, and
+//     exact-zero tests are well-defined in IEEE 754).
+//   - unitmix — flags call sites that pass a value derived from a
+//     *dB-named identifier into a *Gbps-named (or Gbps-typed)
+//     parameter, and vice versa: the class of bug that silently
+//     corrupts the SNR→modulation→capacity translation in
+//     internal/core and internal/qot.
+//
+// Any diagnostic can be suppressed on its line with a
+// "//nolint:<name>" (or "//nolint:all") comment; use sparingly and
+// leave a justification after the directive.
+//
+// The suite is deliberately built on the standard library only
+// (go/ast, go/parser, go/types with the source importer) rather than
+// golang.org/x/tools/go/analysis, so it builds offline with an empty
+// module cache. The Analyzer / Pass / Diagnostic types mirror the
+// x/tools API shape closely enough that porting an analyzer between
+// the two is mechanical, and the linttest harness understands the
+// same "// want" fixture convention as analysistest.
+//
+// Run it with `go run ./cmd/rwc-lint ./...` or `make lint`. To add an
+// analyzer: implement a *lint.Analyzer, register it in All, and give
+// it a fixture package under internal/lint/testdata/src with at least
+// one positive ("// want") and one negative case.
+package lint

@@ -1,0 +1,58 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer gets at least one fixture package with positive
+// (// want) and negative cases; the path-policy analyzers get extra
+// fixture packages proving the allow/exempt lists.
+
+func TestNoRandGlobal(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoRandGlobal, "norandglobal")
+}
+
+func TestNoRandGlobalExemptsRNGPackage(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoRandGlobal, "repro/internal/rng")
+}
+
+func TestNoWallTime(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/snr")
+}
+
+func TestNoWallTimeAllowsTelemetry(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/telemetry")
+}
+
+func TestNoWallTimeAllowsBVT(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/bvt")
+}
+
+func TestNoFloatEq(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoFloatEq, "nofloateq")
+}
+
+func TestUnitMix(t *testing.T) {
+	linttest.Run(t, "testdata", lint.UnitMix, "unitmix")
+}
+
+func TestAllIsTheFullSuite(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range lint.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v incompletely declared", a)
+		}
+		if names[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"norandglobal", "nowalltime", "nofloateq", "unitmix"} {
+		if !names[want] {
+			t.Fatalf("suite is missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package linttest is the analysistest-style harness for the
+// rwc-lint analyzers. Fixture packages live under
+// internal/lint/testdata/src/<importpath>/ and annotate expected
+// findings with trailing comments of the form
+//
+//	x := a == b // want "float == comparison"
+//
+// where each quoted string is a regexp that must match the message of
+// exactly one diagnostic reported on that line. Lines without a want
+// comment must produce no diagnostics, so every fixture is
+// simultaneously a positive and a negative test.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRE pulls the quoted expectation list out of a comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// stringLitRE matches one double- or back-quoted Go string literal.
+var stringLitRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// Run loads the fixture package rooted at testdata/src/<pkgpath>,
+// applies the analyzer, and reports any mismatch between diagnostics
+// and // want expectations as test failures.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgpath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	loader := lint.NewLoader()
+	pkgs, err := loader.LoadDir(pkgpath, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	wants, err := collectWants(loader.Fset(), pkgs)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", pkgpath, err)
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	for _, d := range diags {
+		pos := loader.Fset().Position(d.Pos)
+		key := lineKey{file: filepath.Base(pos.Filename), line: pos.Line}
+		if !claimWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.raw)
+			}
+		}
+	}
+}
+
+// claimWant marks the first unmatched want whose regexp matches msg.
+func claimWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(fset *token.FileSet, pkgs []*lint.Package) (map[lineKey][]*want, error) {
+	out := map[lineKey][]*want{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					key := lineKey{file: filepath.Base(pos.Filename), line: pos.Line}
+					lits := stringLitRE.FindAllString(m[1], -1)
+					if len(lits) == 0 {
+						return nil, fmt.Errorf("%s: want comment without string literal", pos)
+					}
+					for _, lit := range lits {
+						pattern, err := strconv.Unquote(lit)
+						if err != nil {
+							return nil, fmt.Errorf("%s: bad want literal %s: %v", pos, lit, err)
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pattern, err)
+						}
+						out[key] = append(out[key], &want{re: re, raw: pattern})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockPackages are the package-path segment patterns in which
+// wall-clock reads are forbidden: the simulation and experiment
+// packages whose outputs must depend only on the seed and the inputs.
+// internal/telemetry and internal/bvt are deliberately absent — they
+// are driver/collector code for which wall-clock time is the point —
+// as are cmd/ and examples/.
+var wallClockForbidden = []string{
+	"internal/snr",
+	"internal/dataset",
+	"internal/experiments",
+	"internal/core",
+	"internal/te",
+	"internal/scenario",
+}
+
+// wallClockFuncs are the time-package functions that read or schedule
+// against the wall clock. time.Duration arithmetic and constants
+// (time.Hour, d.Seconds(), …) remain free: they are pure values.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// NoWallTime forbids wall-clock reads in simulation packages.
+// Simulated time advances by sample index (snr.SampleInterval per
+// step); a stray time.Now makes a run irreproducible and a
+// time.Sleep couples experiment duration to the host scheduler.
+var NoWallTime = &Analyzer{
+	Name: "nowalltime",
+	Doc: "forbid time.Now/time.Sleep (and derived wall-clock helpers) in " +
+		"simulation and experiment packages; simulated time advances by sample index",
+	Run: runNoWallTime,
+}
+
+func runNoWallTime(pass *Pass) error {
+	forbidden := false
+	for _, seg := range wallClockForbidden {
+		if pathHasSegments(pass.Pkg.Path(), seg) {
+			forbidden = true
+			break
+		}
+	}
+	if !forbidden {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if pass.InTestFile(sel.Pos()) {
+				// Tests may time themselves; determinism of the
+				// simulation outputs is asserted separately.
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s in simulation package %s; derive time from the sample index (snr.SampleInterval) so runs replay bit-for-bit",
+				sel.Sel.Name, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

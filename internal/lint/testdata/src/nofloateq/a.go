@@ -1,0 +1,37 @@
+package nofloateq
+
+type capacity float64
+
+func compare(a, b float64, xs []float64) bool {
+	if a == b { // want `float == comparison; use stats.ApproxEqual`
+		return true
+	}
+	if a != b { // want `float != comparison; use !stats.ApproxEqual`
+		return false
+	}
+	var c, d capacity = 1, 2
+	return c == d // want `float == comparison`
+}
+
+func compare32(a, b float32) bool {
+	return a != b // want `float != comparison`
+}
+
+// Exact-zero sentinel checks stay legal: zero is exact in IEEE 754.
+func isUnset(snrdB float64) bool {
+	return snrdB == 0
+}
+
+func zeroLeft(x float64) bool {
+	return 0.0 == x
+}
+
+// Non-float comparisons are out of scope.
+func intsAndStrings(i, j int, s string) bool {
+	return i == j && s != "snr"
+}
+
+// A justified suppression keeps the line clean.
+func dedupExact(a, b float64) bool {
+	return a == b //nolint:nofloateq // exact-duplicate collapse is intentional
+}

@@ -1,0 +1,13 @@
+package nofloateq
+
+import "testing"
+
+// Negative case: tests may assert exact golden floats — the
+// determinism the rest of the suite enforces is what makes these
+// assertions meaningful.
+func TestExactGoldenValue(t *testing.T) {
+	got := 0.5 * 3
+	if got != 1.5 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,18 @@
+// Positive cases: every touch of math/rand outside internal/rng is a
+// determinism leak.
+package norandglobal
+
+import "math/rand"
+
+func jitter() int {
+	return rand.Intn(10) // want `use of math/rand.Intn .top-level Intn.`
+}
+
+func adHocSource() float64 {
+	r := rand.New(rand.NewSource(42)) // want `ad-hoc rand.New` `ad-hoc rand.NewSource`
+	return r.Float64()
+}
+
+func globalDraw() float64 {
+	return rand.Float64() // want `use of math/rand.Float64`
+}

@@ -1,0 +1,18 @@
+package norandglobal
+
+// Negative case: a seed-threaded local generator is the sanctioned
+// shape (in real code, repro/internal/rng).
+
+type source struct{ state uint64 }
+
+func (s *source) next() uint64 {
+	s.state ^= s.state << 13
+	s.state ^= s.state >> 7
+	s.state ^= s.state << 17
+	return s.state
+}
+
+func deterministicDraw(seed uint64) uint64 {
+	s := &source{state: seed | 1}
+	return s.next()
+}

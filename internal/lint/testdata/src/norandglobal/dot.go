@@ -1,0 +1,7 @@
+package norandglobal
+
+import . "math/rand" // want `\.-import of "math/rand"`
+
+func dotPerm() []int {
+	return Perm(3)
+}

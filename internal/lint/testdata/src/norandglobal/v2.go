@@ -1,0 +1,7 @@
+package norandglobal
+
+import randv2 "math/rand/v2"
+
+func v2Draw() int {
+	return randv2.IntN(5) // want `use of math/rand/v2.IntN`
+}

@@ -1,0 +1,9 @@
+// Negative case: internal/bvt drives real (simulated-hardware)
+// reconfiguration delays; sleeping is legitimate driver behavior.
+package bvt
+
+import "time"
+
+func SettleDelay() {
+	time.Sleep(50 * time.Millisecond)
+}

@@ -1,0 +1,9 @@
+// Negative case: internal/rng itself is the blessed wrapper and may
+// reference the stdlib generators (e.g. for cross-validation).
+package rng
+
+import "math/rand"
+
+func stdlibReference(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

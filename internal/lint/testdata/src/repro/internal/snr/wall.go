@@ -1,0 +1,29 @@
+// Positive cases: wall-clock reads inside a simulation package.
+package snr
+
+import "time"
+
+// SampleInterval mirrors the real package: simulated time is sample
+// index times this constant — never the wall clock.
+const SampleInterval = 15 * time.Minute
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now in simulation package repro/internal/snr`
+}
+
+func throttle() {
+	time.Sleep(10 * time.Millisecond) // want `time.Sleep in simulation package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in simulation package`
+}
+
+func pace() <-chan time.Time {
+	return time.After(SampleInterval) // want `time.After in simulation package`
+}
+
+// simTime is the sanctioned shape: derive time from the sample index.
+func simTime(epoch time.Time, sample int) time.Time {
+	return epoch.Add(time.Duration(sample) * SampleInterval)
+}

@@ -1,0 +1,15 @@
+package snr
+
+import (
+	"testing"
+	"time"
+)
+
+// Negative case: _test.go files may time themselves even inside
+// simulation packages.
+func TestWallClockAllowedInTests(t *testing.T) {
+	start := time.Now()
+	if time.Since(start) < 0 {
+		t.Fatal("clock went backwards")
+	}
+}

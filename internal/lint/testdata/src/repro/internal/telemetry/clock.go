@@ -1,0 +1,15 @@
+// Negative case: internal/telemetry is collector/driver code, where
+// wall-clock time is the point — it is not on the forbidden list.
+package telemetry
+
+import "time"
+
+func StampNow() time.Time {
+	return time.Now()
+}
+
+func PollEvery(d time.Duration, f func()) {
+	for range time.Tick(d) {
+		f()
+	}
+}

@@ -1,0 +1,45 @@
+package unitmix
+
+// Gbps mirrors modulation.Gbps: a defined capacity type.
+type Gbps float64
+
+func Provision(capacityGbps float64) {}
+
+func SetSNR(thresholddB float64) {}
+
+func Translate(c Gbps) {}
+
+func Sum(vals ...Gbps) Gbps {
+	var t Gbps
+	for _, v := range vals {
+		t += v
+	}
+	return t
+}
+
+type ladder struct{}
+
+func (ladder) AddCapacity(extraGbps float64) {}
+
+func osnrdB(spans int) float64 { return 58 - float64(spans) }
+
+func mix(snrdB, rateGbps, marginDB, lengthKm float64, r Gbps) {
+	Provision(snrdB)                       // want `passing dB-derived value snrdB into Gbps parameter "capacityGbps"`
+	SetSNR(rateGbps)                       // want `passing Gbps-derived value rateGbps into dB parameter "thresholddB"`
+	Provision(snrdB - 3)                   // want `passing dB-derived value snrdB - 3 into Gbps parameter`
+	Provision(snrdB + marginDB)            // want `passing dB-derived value`
+	Provision(osnrdB(4))                   // want `passing dB-derived value osnrdB\(4\) into Gbps parameter`
+	Translate(Gbps(snrdB))                 // want `conversion of dB-derived value snrdB to Gbps type`
+	Sum(r, Gbps(rateGbps), Gbps(marginDB)) // want `conversion of dB-derived value marginDB to Gbps type`
+	var l ladder
+	l.AddCapacity(snrdB) // want `passing dB-derived value snrdB into Gbps parameter "extraGbps"`
+
+	// Negatives: consistent units, unitless lengths, explicit
+	// same-family conversions.
+	Provision(rateGbps)
+	SetSNR(snrdB - marginDB)
+	SetSNR(lengthKm) // lengthKm carries no dB/Gbps unit
+	Translate(r)
+	Translate(Gbps(rateGbps))
+	l.AddCapacity(rateGbps)
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/stats"
 )
 
 // Gbps is a link capacity in gigabits per second.
@@ -130,7 +132,7 @@ func NewLadder(modes []Mode) (*Ladder, error) {
 			return nil, fmt.Errorf("modulation: non-positive capacity %v", sorted[i].Capacity)
 		}
 		if i > 0 {
-			if sorted[i].Capacity == sorted[i-1].Capacity {
+			if stats.ApproxInDelta(float64(sorted[i].Capacity), float64(sorted[i-1].Capacity), stats.DefaultTol) {
 				return nil, fmt.Errorf("modulation: duplicate capacity %v", sorted[i].Capacity)
 			}
 			if sorted[i].MinSNRdB <= sorted[i-1].MinSNRdB {
@@ -177,7 +179,7 @@ func (l *Ladder) FeasibleCapacity(snrdB float64) (Mode, bool) {
 // ModeFor returns the mode with exactly the given capacity.
 func (l *Ladder) ModeFor(c Gbps) (Mode, bool) {
 	for _, m := range l.modes {
-		if m.Capacity == c {
+		if stats.ApproxInDelta(float64(m.Capacity), float64(c), stats.DefaultTol) {
 			return m, true
 		}
 	}

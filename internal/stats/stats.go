@@ -167,7 +167,7 @@ func NewCDF(xs []float64) (CDF, error) {
 	pts := make([]CDFPoint, 0, len(sorted))
 	for i := 0; i < len(sorted); i++ {
 		// Collapse runs of equal values to the last index of the run.
-		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] { //nolint:nofloateq // CDF mass collapses on bit-identical duplicates only
 			continue
 		}
 		pts = append(pts, CDFPoint{X: sorted[i], F: float64(i+1) / n})
@@ -271,6 +271,44 @@ func (h *Histogram) Total() int {
 func (h *Histogram) BinCenter(i int) float64 {
 	w := (h.Hi - h.Lo) / float64(len(h.Counts))
 	return h.Lo + w*(float64(i)+0.5)
+}
+
+// DefaultTol is the default tolerance for approximate float
+// comparison: loose enough to absorb accumulated rounding in flow
+// arithmetic, tight enough to separate any two distinct modulation
+// ladder denominations (which are ≥ 25 Gbps apart).
+const DefaultTol = 1e-9
+
+// ApproxEqual reports whether a and b are equal within relative
+// tolerance rel, with an absolute floor of rel near zero. This is the
+// comparison the nofloateq lint rule points at: SNR and capacity
+// values accumulate rounding, so direct == on them silently asks for
+// bit-identity. NaN compares unequal to everything, matching ==.
+func ApproxEqual(a, b, rel float64) bool {
+	if a == b { //nolint:nofloateq // fast path; also makes ±Inf == ±Inf hold
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		// Distinct infinities (or finite vs infinite) are never close:
+		// without this, |a−b| ≤ rel·∞ would hold vacuously.
+		return false
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale > 1 {
+		return math.Abs(a-b) <= rel*scale
+	}
+	return math.Abs(a-b) <= rel
+}
+
+// ApproxInDelta reports whether a and b differ by at most delta — the
+// absolute-tolerance companion to ApproxEqual, for quantities with a
+// natural scale (e.g. capacities on a 25 Gbps-step ladder). NaN
+// compares unequal to everything.
+func ApproxInDelta(a, b, delta float64) bool {
+	if a == b { //nolint:nofloateq // fast path; also makes ±Inf == ±Inf hold
+		return true
+	}
+	return math.Abs(a-b) <= delta
 }
 
 // Mean returns the arithmetic mean, or 0 for an empty slice.

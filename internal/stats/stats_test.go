@@ -367,3 +367,47 @@ func BenchmarkCDF10k(b *testing.B) {
 		}
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, rel float64
+		want      bool
+	}{
+		{1, 1, 1e-9, true},
+		{0, 0, 1e-9, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1 + 1e-6, 1e-9, false},
+		{1e12, 1e12 + 1, 1e-9, true}, // relative scaling above 1
+		{1e12, 1e12 + 1e4, 1e-9, false},
+		{1e-12, 2e-12, 1e-9, true}, // absolute floor near zero
+		{100, 125, 1e-9, false},    // adjacent ladder denominations separate
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+		{math.NaN(), 1, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.rel); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.rel, got, c.want)
+		}
+	}
+}
+
+func TestApproxInDelta(t *testing.T) {
+	cases := []struct {
+		a, b, delta float64
+		want        bool
+	}{
+		{100, 100, 0, true},
+		{100, 100.5, 1, true},
+		{100, 101.5, 1, false},
+		{-3, 3, 6, true},
+		{math.Inf(1), math.Inf(1), 0, true},
+		{math.NaN(), math.NaN(), 1, false},
+	}
+	for _, c := range cases {
+		if got := ApproxInDelta(c.a, c.b, c.delta); got != c.want {
+			t.Errorf("ApproxInDelta(%v, %v, %v) = %v, want %v", c.a, c.b, c.delta, got, c.want)
+		}
+	}
+}
