@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-ext vuln test test-short race race-short cover bench experiments experiments-quick examples clean
+.PHONY: all build lint lint-ext vuln test test-short race race-short cover bench bench-json experiments experiments-quick examples clean
 
 all: build lint test
 
@@ -50,6 +50,12 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable record of the quick benchmark suite (root
+# bench_test.go runs every figure at Quick scale): benchmark name →
+# ns/op, allocs/op, and each b.ReportMetric headline number.
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/rwc-benchjson > BENCH_quick.json
 
 # Regenerate every paper figure (minutes at paper scale).
 experiments:

@@ -1,0 +1,121 @@
+// Command rwc-benchjson converts `go test -bench` output on stdin into
+// a JSON document on stdout: benchmark name → ns/op, allocs/op,
+// B/op, and every custom b.ReportMetric value. The Makefile's
+// bench-json target pipes the quick benchmark suite through it to
+// regenerate BENCH_quick.json, giving CI and reviewers a diffable
+// record of both performance and the headline reproduction numbers
+// the benchmarks report as metrics.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | rwc-benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parseLine parses one `BenchmarkName-P  N  v unit  v unit ...` line.
+// Returns the benchmark name (CPU suffix stripped) and ok=false for
+// non-benchmark lines.
+func parseLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix (Benchmark...-8).
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	r := result{Iterations: iters}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return name, r, true
+}
+
+func main() {
+	results := make(map[string]result)
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if _, seen := results[name]; !seen {
+			order = append(order, name)
+		}
+		results[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "rwc-benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	sort.Strings(order)
+	// Ordered output: marshal field by field so the document is stable
+	// under re-runs of the same suite.
+	out := bufio.NewWriter(os.Stdout)
+	fmt.Fprintln(out, "{")
+	for i, name := range order {
+		blob, err := json.Marshal(results[name])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rwc-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		comma := ","
+		if i == len(order)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(out, "  %q: %s%s\n", name, blob, comma)
+	}
+	fmt.Fprintln(out, "}")
+	if err := out.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

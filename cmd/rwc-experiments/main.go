@@ -4,10 +4,17 @@
 // Usage:
 //
 //	rwc-experiments [-quick] [-seed N] [-figure name]
+//	                [-metrics-out m.prom] [-trace-out t.jsonl]
+//	                [-manifest-out run.json]
 //
 // Figures: fig1, fig2a, fig2b, fig3a, fig3b, fig4, fig4c, fig5, fig6b,
 // fig7, fig8, theorem1, throughput, availability, sensitivity,
 // safeguards, all (default).
+//
+// The -*-out flags enable the observability layer: per-figure spans and
+// counters (plus everything the underlying simulations record) land in
+// the metrics/trace files, and the manifest records the seed, options,
+// and per-figure wall durations.
 package main
 
 import (
@@ -15,8 +22,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // tabler is any experiment result.
@@ -35,6 +44,9 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = default)")
 	figure := flag.String("figure", "all", "which figure to regenerate")
 	format := flag.String("format", "text", "output format: text, csv, or md")
+	metricsOut := flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file")
+	traceOut := flag.String("trace-out", "", "write the per-figure trace as JSONL to this file")
+	manifestOut := flag.String("manifest-out", "", "write the run manifest as JSON to this file")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -44,6 +56,18 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 		opts.Dataset.Seed = *seed
+	}
+
+	var o *obs.Obs
+	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" {
+		o = obs.New("rwc-experiments")
+		start := time.Now()
+		o.Wall = obs.ClockFunc(func() time.Duration { return time.Since(start) })
+		o.Manifest.SetSeed(opts.Seed)
+		flag.VisitAll(func(fl *flag.Flag) {
+			o.Manifest.SetOption(fl.Name, fl.Value.String())
+		})
+		opts.Obs = o
 	}
 
 	// "all" runs these; fig1series (2000 long-form rows, meant for CSV
@@ -114,6 +138,34 @@ func main() {
 		if err := render(res.Table()); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: render: %v\n", name, err)
 			os.Exit(1)
+		}
+	}
+
+	if o != nil {
+		o.FinishManifest()
+		write := func(path string, f func(*os.File) error) {
+			out, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rwc-experiments: %v\n", err)
+				os.Exit(1)
+			}
+			err = f(out)
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rwc-experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsOut != "" {
+			write(*metricsOut, func(f *os.File) error { return o.Metrics.WritePrometheus(f) })
+		}
+		if *traceOut != "" {
+			write(*traceOut, func(f *os.File) error { return o.Trace.WriteJSONL(f) })
+		}
+		if *manifestOut != "" {
+			write(*manifestOut, func(f *os.File) error { return o.Manifest.WriteJSON(f) })
 		}
 	}
 }

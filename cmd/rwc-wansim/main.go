@@ -7,16 +7,87 @@
 //
 //	rwc-wansim [-topology abilene|us|random] [-rounds N] [-policy p]
 //	           [-demand f] [-wavelengths N] [-seed N] [-hitless]
+//	           [-metrics-out m.prom] [-trace-out t.jsonl]
+//	           [-manifest-out run.json] [-pprof addr]
+//
+// The three -*-out flags enable the observability layer: -metrics-out
+// writes the final metric registry in Prometheus text format,
+// -trace-out the decision trace as JSONL (timestamps are simulation
+// time, so same-seed runs are byte-identical), and -manifest-out a run
+// manifest with the seed, options, per-round wall durations, and
+// metric totals. -pprof serves net/http/pprof on the given address
+// (e.g. "localhost:6060") for the duration of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wan"
 )
+
+// parseTopology is the single validation path for -topology.
+func parseTopology(name string, wavelengths int, seed uint64) (*wan.Network, error) {
+	switch name {
+	case "abilene":
+		return wan.Abilene(wavelengths), nil
+	case "us":
+		return wan.USBackbone(wavelengths), nil
+	case "random":
+		return wan.RandomBackbone(20, 14, wavelengths, seed)
+	default:
+		return nil, fmt.Errorf("unknown topology %q (abilene, us, random)", name)
+	}
+}
+
+// parsePolicy is the single validation path for -policy.
+func parsePolicy(name string) ([]wan.Policy, error) {
+	switch name {
+	case "all":
+		return []wan.Policy{wan.PolicyStatic100, wan.PolicyStaticMax, wan.PolicyDynamic}, nil
+	case "static100":
+		return []wan.Policy{wan.PolicyStatic100}, nil
+	case "staticmax":
+		return []wan.Policy{wan.PolicyStaticMax}, nil
+	case "dynamic":
+		return []wan.Policy{wan.PolicyDynamic}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (static100, staticmax, dynamic, all)", name)
+	}
+}
+
+// usageError reports a flag-validation failure consistently: one
+// stderr line, exit 2 (matching flag package convention).
+func usageError(err error) {
+	fmt.Fprintf(os.Stderr, "rwc-wansim: %v\n", err)
+	os.Exit(2)
+}
+
+// fatal reports a runtime failure: one stderr line, exit 1.
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rwc-wansim: %v\n", err)
+	os.Exit(1)
+}
+
+// writeOutput writes one observability artifact to path.
+func writeOutput(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
 
 func main() {
 	topology := flag.String("topology", "abilene", "backbone: abilene, us, or random")
@@ -28,24 +99,43 @@ func main() {
 	seed := flag.Uint64("seed", 2017, "simulation seed")
 	hitless := flag.Bool("hitless", false, "assume hitless (35 ms) capacity changes instead of 68 s")
 	lengthAware := flag.Bool("lengthaware", false, "derive per-fiber SNR baselines from link length (QoT model)")
+	metricsOut := flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file")
+	traceOut := flag.String("trace-out", "", "write the decision trace as JSONL to this file")
+	manifestOut := flag.String("manifest-out", "", "write the run manifest as JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	var net *wan.Network
-	var err error
-	switch *topology {
-	case "abilene":
-		net = wan.Abilene(*wavelengths)
-	case "us":
-		net = wan.USBackbone(*wavelengths)
-	case "random":
-		net, err = wan.RandomBackbone(20, 14, *wavelengths, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "rwc-wansim: unknown topology %q\n", *topology)
-		os.Exit(2)
-	}
+	// Validate every enumerated flag through one path before doing any
+	// work, so bad values always produce the same stderr shape + exit 2.
+	run, err := parsePolicy(*policy)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rwc-wansim: %v\n", err)
-		os.Exit(1)
+		usageError(err)
+	}
+	net, err := parseTopology(*topology, *wavelengths, *seed)
+	if err != nil {
+		usageError(err)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "rwc-wansim: pprof: %v\n", err)
+			}
+		}()
+	}
+
+	// The observability bundle: simulation-clocked metrics + trace, and
+	// a wall clock injected here (cmd/ is outside the nowalltime rule)
+	// for manifest phase durations only.
+	var o *obs.Obs
+	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" {
+		o = obs.New("rwc-wansim")
+		start := time.Now()
+		o.Wall = obs.ClockFunc(func() time.Duration { return time.Since(start) })
+		o.Manifest.SetSeed(*seed)
+		flag.VisitAll(func(fl *flag.Flag) {
+			o.Manifest.SetOption(fl.Name, fl.Value.String())
+		})
 	}
 
 	cfg := wan.SimConfig{
@@ -55,6 +145,7 @@ func main() {
 		Seed:           *seed,
 		DemandFraction: *demand,
 		DemandSigma:    0.1,
+		Obs:            o,
 	}
 	if *hitless {
 		cfg.ChangeDowntime = 35 * time.Millisecond
@@ -62,25 +153,7 @@ func main() {
 	cfg.LengthAware = *lengthAware
 	sim, err := wan.NewSimulation(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rwc-wansim: %v\n", err)
-		os.Exit(1)
-	}
-
-	policies := map[string]wan.Policy{
-		"static100": wan.PolicyStatic100,
-		"staticmax": wan.PolicyStaticMax,
-		"dynamic":   wan.PolicyDynamic,
-	}
-	var run []wan.Policy
-	if *policy == "all" {
-		run = []wan.Policy{wan.PolicyStatic100, wan.PolicyStaticMax, wan.PolicyDynamic}
-	} else {
-		p, ok := policies[*policy]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "rwc-wansim: unknown policy %q\n", *policy)
-			os.Exit(2)
-		}
-		run = []wan.Policy{p}
+		fatal(err)
 	}
 
 	fmt.Printf("# topology=%s nodes=%d fibers=%d wavelengths=%d rounds=%d demand=%.2fx seed=%d\n",
@@ -105,5 +178,18 @@ func main() {
 		}
 		fmt.Printf("# %s summary: mean_satisfied=%.4f total_shipped=%.0f changes=%d dark_link_rounds=%d disrupted_gbps_sec=%.0f\n",
 			p, res.MeanSatisfied(), res.TotalShipped(), res.TotalChanges(), dark, disrupted)
+	}
+
+	if o != nil {
+		o.FinishManifest()
+		if *metricsOut != "" {
+			writeOutput(*metricsOut, func(f *os.File) error { return o.Metrics.WritePrometheus(f) })
+		}
+		if *traceOut != "" {
+			writeOutput(*traceOut, func(f *os.File) error { return o.Trace.WriteJSONL(f) })
+		}
+		if *manifestOut != "" {
+			writeOutput(*manifestOut, func(f *os.File) error { return o.Manifest.WriteJSON(f) })
+		}
 	}
 }

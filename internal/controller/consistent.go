@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/te"
 )
 
@@ -46,10 +47,14 @@ func (c *Controller) ConsistentStep(demands []te.Demand) (*ConsistentPlan, error
 		cp.Intermediate = final.Allocation
 		return cp, nil
 	}
+	c.cfg.Obs.Counter("controller_consistent_updates_total",
+		"Consistent three-state updates executed (steps with at least one re-modulated link).").Inc()
 
 	// Build the intermediate topology: configured capacities as they
 	// were BEFORE this step's orders, with EU links removed. Traffic
 	// rides this while the transceivers change.
+	c.cfg.Obs.Event("controller.consistent.reroute",
+		obs.A("updated_edges", len(cp.UpdatedEdges)))
 	inter := c.g.Clone()
 	updated := make(map[graph.EdgeID]bool, len(cp.UpdatedEdges))
 	for _, id := range cp.UpdatedEdges {
@@ -67,5 +72,11 @@ func (c *Controller) ConsistentStep(demands []te.Demand) (*ConsistentPlan, error
 	if cp.IntermediateLoss < 0 {
 		cp.IntermediateLoss = 0
 	}
+	c.cfg.Obs.Event("controller.consistent.reconfigure",
+		obs.A("updated_edges", len(cp.UpdatedEdges)),
+		obs.A("intermediate_gbps", alloc.Throughput))
+	c.cfg.Obs.Event("controller.consistent.converge",
+		obs.A("final_gbps", final.Decision.Value),
+		obs.A("intermediate_loss_gbps", cp.IntermediateLoss))
 	return cp, nil
 }

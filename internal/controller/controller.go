@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/modulation"
+	"repro/internal/obs"
 	"repro/internal/te"
 )
 
@@ -92,6 +93,9 @@ type Config struct {
 	// ChangeDowntime estimates per-change disruption (default 68 s;
 	// set 35 ms for hitless transceivers).
 	ChangeDowntime time.Duration
+	// Obs receives decision traces and counters. Nil (the default)
+	// disables observability at no cost: every sink method is nil-safe.
+	Obs *obs.Obs
 }
 
 // withDefaults fills zero values.
@@ -115,6 +119,20 @@ func (c Config) withDefaults() Config {
 		c.ChangeDowntime = 68 * time.Second
 	}
 	return c
+}
+
+// emitOrder records one reconfiguration order on the observability
+// sinks. The trace event carries everything the order itself does, so
+// a trace consumer can replay exactly what the controller decided.
+func (c *Controller) emitOrder(o Order) {
+	c.cfg.Obs.Counter("controller_orders_total",
+		"Reconfiguration orders issued by the controller, by kind.",
+		obs.L("kind", o.Kind.String())).Inc()
+	c.cfg.Obs.Event("controller.order",
+		obs.A("edge", int(o.Edge)),
+		obs.A("kind", o.Kind.String()),
+		obs.A("from_gbps", float64(o.From)),
+		obs.A("to_gbps", float64(o.To)))
 }
 
 // linkState tracks one directed edge (= one wavelength, the paper's
@@ -214,7 +232,22 @@ func (c *Controller) ObserveSNR(id graph.EdgeID, snrdB float64) (*Order, error) 
 	next, hasNext := c.cfg.Ladder.NextUp(ls.configured)
 	if hasNext && snrdB >= next.MinSNRdB+c.cfg.DowngradeMargindB {
 		ls.holdCount++
+		if ls.holdCount == c.cfg.UpgradeHoldObservations {
+			// Hysteresis transition: the link just qualified to offer
+			// its upgrade headroom to TE.
+			c.cfg.Obs.Counter("controller_hysteresis_qualified_total",
+				"Links whose SNR sustained a higher rung long enough to offer the upgrade to TE.").Inc()
+			c.cfg.Obs.Event("controller.hysteresis_qualified",
+				obs.A("edge", int(id)),
+				obs.A("snr_db", snrdB),
+				obs.A("hold", ls.holdCount))
+		}
 	} else {
+		if ls.holdCount >= c.cfg.UpgradeHoldObservations {
+			c.cfg.Obs.Event("controller.hysteresis_reset",
+				obs.A("edge", int(id)),
+				obs.A("snr_db", snrdB))
+		}
 		ls.holdCount = 0
 	}
 
@@ -272,6 +305,8 @@ func (c *Controller) UnpinAll() {
 // becomes upgrade orders. The returned plan has already been applied to
 // the controller's configured state.
 func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
+	endStep := c.cfg.Obs.Span("controller.step")
+	defer endStep()
 	plan := &Plan{}
 	c.decayDamping()
 
@@ -293,9 +328,9 @@ func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
 					target = ls.nominal
 				}
 				if target > ls.configured {
-					plan.Orders = append(plan.Orders, Order{
-						Edge: e.ID, Kind: OrderUpgrade, From: ls.configured, To: target,
-					})
+					o := Order{Edge: e.ID, Kind: OrderUpgrade, From: ls.configured, To: target}
+					plan.Orders = append(plan.Orders, o)
+					c.emitOrder(o)
 					plan.EstimatedDisruption += ls.lastFlow * c.cfg.ChangeDowntime.Seconds()
 					ls.configured = target
 					c.chargeDamping(e.ID)
@@ -313,9 +348,9 @@ func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
 				to = target.Capacity
 			}
 			if to < ls.configured {
-				plan.Orders = append(plan.Orders, Order{
-					Edge: e.ID, Kind: OrderForcedDowngrade, From: ls.configured, To: to,
-				})
+				o := Order{Edge: e.ID, Kind: OrderForcedDowngrade, From: ls.configured, To: to}
+				plan.Orders = append(plan.Orders, o)
+				c.emitOrder(o)
 				plan.EstimatedDisruption += ls.lastFlow * c.cfg.ChangeDowntime.Seconds()
 				ls.configured = to
 				ls.holdCount = 0
@@ -347,6 +382,12 @@ func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
 			flowOnFake[ch.Edge] = ch.FlowOnFake
 		}
 		kept := c.applyChangeBudget(candidates, flowOnFake)
+		c.cfg.Obs.Counter("controller_budget_reruns_total",
+			"TE re-runs forced by the per-round change budget.").Inc()
+		c.cfg.Obs.Event("controller.change_budget",
+			obs.A("candidates", len(candidates)),
+			obs.A("kept", len(kept)),
+			obs.A("budget", c.maxChanges))
 		keptSet := make(map[graph.EdgeID]bool, len(kept))
 		for _, o := range kept {
 			keptSet[o.Edge] = true
@@ -367,9 +408,9 @@ func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
 		// Upgrades on pinned links are filtered in runTE, so the
 		// visible capacity in ch equals the configured capacity here.
 		to := modulation.Gbps(ch.NewCapacity)
-		plan.Orders = append(plan.Orders, Order{
-			Edge: ch.Edge, Kind: OrderUpgrade, From: ls.configured, To: to,
-		})
+		o := Order{Edge: ch.Edge, Kind: OrderUpgrade, From: ls.configured, To: to}
+		plan.Orders = append(plan.Orders, o)
+		c.emitOrder(o)
 		plan.EstimatedDisruption += ls.lastFlow * c.cfg.ChangeDowntime.Seconds()
 		ls.configured = to
 		ls.holdCount = 0
@@ -419,10 +460,20 @@ func (c *Controller) runTE(demands []te.Demand, allowUpgrade func(graph.EdgeID) 
 	if err != nil {
 		return nil, nil, err
 	}
+	endSolve := c.cfg.Obs.Span("controller.te_solve",
+		obs.A("algorithm", c.cfg.TE.Name()),
+		obs.A("demands", len(demands)))
 	alloc, err := c.cfg.TE.Allocate(aug.Graph, demands)
+	endSolve()
 	if err != nil {
 		return nil, nil, err
 	}
+	c.cfg.Obs.Counter("controller_te_solves_total",
+		"Flow-solver invocations inside TE allocations run by the controller.").Add(float64(alloc.Solver.Solves))
+	c.cfg.Obs.Counter("controller_te_solver_phases_total",
+		"Flow-solver phases (BFS level graphs / Dijkstra runs / water-fill sweeps) across controller TE runs.").Add(float64(alloc.Solver.Phases))
+	c.cfg.Obs.Counter("controller_te_solver_augmentations_total",
+		"Augmenting paths / path pushes applied across controller TE runs.").Add(float64(alloc.Solver.Augmentations))
 	dec, err := aug.Translate(graph.FlowResult{Value: alloc.Throughput, EdgeFlow: alloc.EdgeFlow})
 	if err != nil {
 		return nil, nil, err

@@ -32,6 +32,7 @@ type ControllerAblationResult struct {
 // around the 100 G threshold every round, under four controller
 // configurations.
 func ControllerAblation(o Options) (*ControllerAblationResult, error) {
+	defer o.span("controller-ablation")()
 	g := graph.New()
 	n := make([]graph.NodeID, 4)
 	for i := range n {
@@ -64,7 +65,7 @@ func ControllerAblation(o Options) (*ControllerAblationResult, error) {
 		script.Events = append(script.Events, scenario.Event{Round: r, Link: 0, SNRdB: snr})
 	}
 
-	cfg := controller.Config{UpgradeHoldObservations: 1}
+	cfg := controller.Config{UpgradeHoldObservations: 1, Obs: o.Obs}
 	// Aggressive damping: two changes in quick succession suppress the
 	// link until a long quiet period (slow decay) — it parks at the
 	// degraded-but-up rung instead of flapping.

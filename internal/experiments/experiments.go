@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // Options scales the experiments.
@@ -31,6 +32,26 @@ type Options struct {
 	// Trials is the number of random instances for the Theorem 1
 	// property check.
 	Trials int
+	// Obs receives per-figure spans, counters, and manifest phase
+	// durations; nil (the default) disables observability at no cost.
+	// Obs is threaded through to the simulations the figures run.
+	Obs *obs.Obs
+}
+
+// span opens a per-figure trace span plus a manifest phase timer and
+// counts the computation; the returned func closes both. Every FigureN
+// function defers it, so a run's trace shows exactly which figures ran
+// and the manifest how long each took.
+func (o Options) span(figure string) func() {
+	o.Obs.Counter("experiments_figures_total",
+		"Figure computations executed, by figure.",
+		obs.L("figure", figure)).Inc()
+	endSpan := o.Obs.Span("experiments.figure", obs.A("figure", figure))
+	endPhase := o.Obs.PhaseTimer("figure/" + figure)
+	return func() {
+		endSpan()
+		endPhase()
+	}
 }
 
 // DefaultOptions is the paper-scale configuration (minutes of compute:

@@ -40,6 +40,7 @@ type ThroughputGainsResult struct {
 // against identical SNR evolution and oversubscribed gravity traffic on
 // the Abilene backbone.
 func ThroughputGains(o Options) (*ThroughputGainsResult, error) {
+	defer o.span("throughput-gains")()
 	net := wan.Abilene(2)
 	sim, err := wan.NewSimulation(wan.SimConfig{
 		Net:            net,
@@ -48,6 +49,7 @@ func ThroughputGains(o Options) (*ThroughputGainsResult, error) {
 		Seed:           o.Seed ^ 0x514,
 		DemandFraction: 1.2,
 		DemandSigma:    0.1,
+		Obs:            o.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -123,6 +125,7 @@ type AvailabilityResult struct {
 // AvailabilityGains streams the fleet and compares the binary up/down
 // rule against flap-to-50 Gbps.
 func AvailabilityGains(o Options) (*AvailabilityResult, error) {
+	defer o.span("availability-gains")()
 	ladder := o.Dataset.Ladder
 	th100, err := ladder.ThresholdFor(100)
 	if err != nil {

@@ -15,6 +15,27 @@ type FlowResult struct {
 	// Cost is the total cost sum(flow_e * cost_e). Dinic leaves it 0
 	// unless computed; min-cost solvers fill it.
 	Cost float64
+	// Stats counts the work the solver did. Callers that build
+	// observability feeds aggregate these; the counters are plain local
+	// integers so the hot loops pay nothing for them.
+	Stats SolveStats
+}
+
+// SolveStats counts solver work for observability. For Dinic, Phases
+// is the number of level graphs built (BFS rounds) and Augmentations
+// the number of blocking-flow pushes; for successive shortest paths,
+// Phases is the number of Dijkstra runs and Augmentations the number
+// of augmenting paths applied.
+type SolveStats struct {
+	Phases        int
+	Augmentations int
+}
+
+// Add accumulates another solve's counts (for multi-solve callers
+// like the per-demand TE allocators).
+func (s *SolveStats) Add(o SolveStats) {
+	s.Phases += o.Phases
+	s.Augmentations += o.Augmentations
 }
 
 // costOn recomputes the cost of a flow assignment on g.
@@ -94,6 +115,7 @@ func (g *Graph) MaxFlow(src, dst NodeID, limit float64) (FlowResult, error) {
 	level := make([]int, r.n)
 	iter := make([]int, r.n)
 	var total float64
+	var stats SolveStats
 
 	bfs := func() bool {
 		for i := range level {
@@ -135,6 +157,7 @@ func (g *Graph) MaxFlow(src, dst NodeID, limit float64) (FlowResult, error) {
 	}
 
 	for total+Eps < limit && bfs() {
+		stats.Phases++
 		for i := range iter {
 			iter[i] = 0
 		}
@@ -143,6 +166,7 @@ func (g *Graph) MaxFlow(src, dst NodeID, limit float64) (FlowResult, error) {
 			if f <= Eps {
 				break
 			}
+			stats.Augmentations++
 			total += f
 			if total+Eps >= limit {
 				break
@@ -150,7 +174,7 @@ func (g *Graph) MaxFlow(src, dst NodeID, limit float64) (FlowResult, error) {
 		}
 	}
 
-	res := FlowResult{Value: total, EdgeFlow: r.flows(g)}
+	res := FlowResult{Value: total, EdgeFlow: r.flows(g), Stats: stats}
 	res.Cost = res.costOn(g)
 	return res, nil
 }

@@ -47,9 +47,11 @@ func (g *Graph) MinCostFlow(src, dst NodeID, limit float64) (FlowResult, error) 
 	dist := make([]float64, n)
 	prevArc := make([]int, n)
 	var total, totalCost float64
+	var stats SolveStats
 
 	for total+Eps < limit {
 		// Dijkstra on reduced costs.
+		stats.Phases++
 		for i := range dist {
 			dist[i] = math.Inf(1)
 			prevArc[i] = -1
@@ -114,9 +116,10 @@ func (g *Graph) MinCostFlow(src, dst NodeID, limit float64) (FlowResult, error) 
 			v = r.from(a)
 		}
 		total += push
+		stats.Augmentations++
 	}
 
-	return FlowResult{Value: total, EdgeFlow: r.flows(g), Cost: totalCost}, nil
+	return FlowResult{Value: total, EdgeFlow: r.flows(g), Cost: totalCost, Stats: stats}, nil
 }
 
 // MinCostMaxFlow returns the minimum-cost maximum flow from src to dst.

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// diamond builds s -> {a, b} -> t with two disjoint unit-cost paths.
+func statsDiamond(t *testing.T) (*Graph, NodeID, NodeID) {
+	t.Helper()
+	g := New()
+	first := g.AddNodes(4)
+	s, a, b, d := first, first+1, first+2, first+3
+	g.AddEdge(Edge{From: s, To: a, Capacity: 10, Cost: 1})
+	g.AddEdge(Edge{From: s, To: b, Capacity: 10, Cost: 2})
+	g.AddEdge(Edge{From: a, To: d, Capacity: 10, Cost: 1})
+	g.AddEdge(Edge{From: b, To: d, Capacity: 10, Cost: 2})
+	return g, s, d
+}
+
+func TestMaxFlowReportsSolveStats(t *testing.T) {
+	g, s, d := statsDiamond(t)
+	res, err := g.MaxFlow(s, d, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 20 {
+		t.Fatalf("value = %v, want 20", res.Value)
+	}
+	// Dinic ships both disjoint paths in the first level graph: two
+	// augmentations, and ≥1 phase (the final phase finds no path).
+	if res.Stats.Augmentations != 2 {
+		t.Fatalf("augmentations = %d, want 2", res.Stats.Augmentations)
+	}
+	if res.Stats.Phases < 1 {
+		t.Fatalf("phases = %d, want >= 1", res.Stats.Phases)
+	}
+}
+
+func TestMinCostFlowReportsSolveStats(t *testing.T) {
+	g, s, d := statsDiamond(t)
+	res, err := g.MinCostMaxFlow(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 20 {
+		t.Fatalf("value = %v, want 20", res.Value)
+	}
+	// Successive shortest paths augments once per disjoint path, and
+	// runs one extra Dijkstra to prove no path remains.
+	if res.Stats.Augmentations != 2 {
+		t.Fatalf("augmentations = %d, want 2", res.Stats.Augmentations)
+	}
+	if res.Stats.Phases != 3 {
+		t.Fatalf("phases = %d, want 3", res.Stats.Phases)
+	}
+}
+
+func TestSolveStatsAdd(t *testing.T) {
+	var s SolveStats
+	s.Add(SolveStats{Phases: 2, Augmentations: 3})
+	s.Add(SolveStats{Phases: 1, Augmentations: 1})
+	if s.Phases != 3 || s.Augmentations != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

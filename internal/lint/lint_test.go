@@ -23,6 +23,12 @@ func TestNoWallTime(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/snr")
 }
 
+func TestNoWallTimeRejectsInstrumentedWan(t *testing.T) {
+	// An obs-instrumented simulation package: the injected-clock shapes
+	// (Set/Now on a sim clock) are clean; direct time.* reads are not.
+	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/wan")
+}
+
 func TestNoWallTimeAllowsTelemetry(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/telemetry")
 }

@@ -18,6 +18,10 @@ var wallClockForbidden = []string{
 	"internal/core",
 	"internal/te",
 	"internal/scenario",
+	"internal/graph",
+	"internal/controller",
+	"internal/wan",
+	"internal/obs",
 }
 
 // wallClockFuncs are the time-package functions that read or schedule

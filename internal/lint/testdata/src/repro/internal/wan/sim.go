@@ -1,0 +1,48 @@
+// Fixture: an obs-instrumented simulation package. The observability
+// layer must not tempt simulation code into wall-clock reads — trace
+// timestamps come from an injected clock the simulation advances
+// itself, so the sanctioned shapes below are clean and every direct
+// time.* read is flagged.
+package wan
+
+import "time"
+
+// clock is the injected-clock shape the real internal/obs package
+// exposes: Now returns simulation time, an offset the simulation set.
+type clock interface {
+	Now() time.Duration
+}
+
+// simClock is a manually advanced clock (the sanctioned pattern).
+type simClock struct{ t time.Duration }
+
+func (c *simClock) Set(t time.Duration) { c.t = t }
+func (c *simClock) Now() time.Duration  { return c.t }
+
+// run advances the injected clock from round state — no wall reads.
+func run(c *simClock, rounds int, interval time.Duration) {
+	for r := 0; r < rounds; r++ {
+		c.Set(time.Duration(r) * interval)
+	}
+}
+
+// stamp reads the injected clock: fine, it is simulation time.
+func stamp(c clock) time.Duration {
+	return c.Now()
+}
+
+// badStamp bypasses the injected clock for the wall clock.
+func badStamp() time.Time {
+	return time.Now() // want `time.Now in simulation package repro/internal/wan`
+}
+
+// badRoundDuration measures a round against the wall clock instead of
+// the simulation clock.
+func badRoundDuration(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in simulation package`
+}
+
+// badPace couples the round loop to the host scheduler.
+func badPace(interval time.Duration) {
+	time.Sleep(interval) // want `time.Sleep in simulation package`
+}

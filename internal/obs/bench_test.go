@@ -1,0 +1,73 @@
+package obs
+
+// The disabled-observability benchmarks guard the tentpole's "no
+// measurable overhead" promise: a nil *Obs must cost a nil check per
+// call site, so wiring obs through the solver-adjacent layers cannot
+// slow the BenchmarkFigure* paths when no sink is attached.
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkDisabledCounter(b *testing.B) {
+	var o *Obs
+	c := o.Counter("x_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		c.Add(2)
+	}
+}
+
+func BenchmarkDisabledEvent(b *testing.B) {
+	var o *Obs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Event("order")
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	var o *Obs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		end := o.Span("round")
+		end()
+	}
+}
+
+func BenchmarkDisabledPhaseTimer(b *testing.B) {
+	var o *Obs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		done := o.PhaseTimer("p")
+		done()
+	}
+}
+
+func BenchmarkDisabledSimTime(b *testing.B) {
+	var o *Obs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.SetSimTime(time.Duration(i))
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	o := New("bench")
+	c := o.Counter("x_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledHistogramObserve(b *testing.B) {
+	o := New("bench")
+	h := o.Histogram("h_seconds", "", DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) / 10)
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// This file implements the run manifest: a JSON record of what a run
+// was (tool, seed, options) and what it cost (per-phase wall
+// durations, final metric totals), written at the end of every cmd/
+// run that asks for one. Unlike the metrics and trace sinks, the
+// manifest may carry wall-clock durations — they are measured through
+// a Clock injected by cmd/, so the byte-identical guarantee applies
+// only to the metrics and trace outputs.
+
+// PhaseRecord is one timed phase (a figure, a policy run, a round).
+type PhaseRecord struct {
+	Name string `json:"name"`
+	// WallNs is the real elapsed time of the phase in nanoseconds.
+	WallNs int64 `json:"wall_ns"`
+}
+
+// Manifest accumulates the run record. All mutating methods are safe
+// on a nil receiver and for concurrent use.
+type Manifest struct {
+	mu sync.Mutex
+	m  manifestJSON
+}
+
+// manifestJSON is the serialized schema (documented in DESIGN.md).
+type manifestJSON struct {
+	// Tool is the command that produced the run (e.g. "rwc-wansim").
+	Tool string `json:"tool"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Seed is the top-level simulation seed.
+	Seed uint64 `json:"seed"`
+	// Options records the effective flag values, name → rendered value.
+	Options map[string]string `json:"options,omitempty"`
+	// Phases lists timed phases in completion order.
+	Phases []PhaseRecord `json:"phases,omitempty"`
+	// MetricTotals is the final registry snapshot, "name{labels}" → value.
+	MetricTotals map[string]float64 `json:"metric_totals,omitempty"`
+}
+
+// NewManifest returns a manifest for the named tool.
+func NewManifest(tool string) *Manifest {
+	return &Manifest{m: manifestJSON{Tool: tool, GoVersion: goVersion()}}
+}
+
+// SetSeed records the run seed.
+func (m *Manifest) SetSeed(seed uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.m.Seed = seed
+	m.mu.Unlock()
+}
+
+// SetOption records one effective option value.
+func (m *Manifest) SetOption(name, value string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.m.Options == nil {
+		m.m.Options = make(map[string]string)
+	}
+	m.m.Options[name] = value
+	m.mu.Unlock()
+}
+
+// AddPhase appends a timed phase.
+func (m *Manifest) AddPhase(name string, wall time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.m.Phases = append(m.m.Phases, PhaseRecord{Name: name, WallNs: wall.Nanoseconds()})
+	m.mu.Unlock()
+}
+
+// Phases returns a copy of the recorded phases.
+func (m *Manifest) Phases() []PhaseRecord {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]PhaseRecord(nil), m.m.Phases...)
+}
+
+// SetMetricTotals stores the final metric snapshot.
+func (m *Manifest) SetMetricTotals(totals map[string]float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.m.MetricTotals = totals
+	m.mu.Unlock()
+}
+
+// WriteJSON serializes the manifest, indented, with sorted map keys
+// (encoding/json sorts them), ending with a newline.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.m)
+}

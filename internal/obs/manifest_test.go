@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestManifestJSONSchema(t *testing.T) {
+	m := NewManifest("rwc-wansim")
+	m.SetSeed(2017)
+	m.SetOption("topology", "abilene")
+	m.SetOption("rounds", "28")
+	m.AddPhase("dynamic/round000", 1500*time.Microsecond)
+	m.AddPhase("dynamic/round001", 2*time.Millisecond)
+	m.SetMetricTotals(map[string]float64{"wan_changes_total": 4})
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Tool         string             `json:"tool"`
+		GoVersion    string             `json:"go_version"`
+		Seed         uint64             `json:"seed"`
+		Options      map[string]string  `json:"options"`
+		Phases       []PhaseRecord      `json:"phases"`
+		MetricTotals map[string]float64 `json:"metric_totals"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if back.Tool != "rwc-wansim" || back.Seed != 2017 {
+		t.Fatalf("tool/seed = %q/%d", back.Tool, back.Seed)
+	}
+	if back.GoVersion == "" {
+		t.Fatal("go_version empty")
+	}
+	if back.Options["topology"] != "abilene" || back.Options["rounds"] != "28" {
+		t.Fatalf("options = %v", back.Options)
+	}
+	if len(back.Phases) != 2 || back.Phases[0].Name != "dynamic/round000" || back.Phases[0].WallNs != 1500000 {
+		t.Fatalf("phases = %+v", back.Phases)
+	}
+	if back.MetricTotals["wan_changes_total"] != 4 {
+		t.Fatalf("metric totals = %v", back.MetricTotals)
+	}
+}
+
+func TestNilManifestIsNoOp(t *testing.T) {
+	var m *Manifest
+	m.SetSeed(1)
+	m.SetOption("a", "b")
+	m.AddPhase("x", time.Second)
+	m.SetMetricTotals(map[string]float64{"a": 1})
+	if m.Phases() != nil {
+		t.Fatal("nil manifest recorded phases")
+	}
+	if err := m.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}

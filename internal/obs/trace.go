@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// This file implements the span/event tracer. Events are stamped with
+// *simulation* time read from the injected Clock (never the wall
+// clock — instrumented packages are subject to rwc-lint's nowalltime
+// rule), plus a monotonically increasing sequence number that orders
+// events sharing a timestamp. The JSONL export is byte-identical
+// across identical runs.
+
+// Attr is one key/value annotation on an event. Values must be
+// JSON-marshalable; the instrumentation sticks to strings, ints,
+// floats, and bools.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A is shorthand for constructing an Attr at call sites.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Event kinds.
+const (
+	KindEvent = "event"
+	KindBegin = "begin"
+	KindEnd   = "end"
+)
+
+// Event is one trace record.
+type Event struct {
+	// Seq is the global order of the event within the run (1-based).
+	Seq int
+	// T is the simulation time when the event was recorded.
+	T time.Duration
+	// Kind is KindEvent for point events, KindBegin/KindEnd for spans.
+	Kind string
+	// Name identifies the instrumentation site (e.g. "controller.order").
+	Name string
+	// Span links begin/end pairs (0 for point events).
+	Span int
+	// Attrs annotates the event.
+	Attrs []Attr
+}
+
+// Tracer records events in memory for a JSONL dump at the end of the
+// run. All methods are nil-safe: a nil *Tracer is the disabled state.
+type Tracer struct {
+	mu       sync.Mutex
+	clock    Clock
+	events   []Event
+	nextSpan int
+}
+
+// NewTracer returns a tracer stamping events from clock (a nil clock
+// stamps every event t=0, leaving ordering to sequence numbers).
+func NewTracer(clock Clock) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+// now reads the clock under the tracer lock.
+func (t *Tracer) now() time.Duration {
+	if t.clock == nil {
+		return 0
+	}
+	return t.clock.Now()
+}
+
+// Event records a point event.
+func (t *Tracer) Event(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, Event{
+		Seq: len(t.events) + 1, T: t.now(), Kind: KindEvent, Name: name, Attrs: attrs,
+	})
+	t.mu.Unlock()
+}
+
+// Span is a handle to an open span. End on a nil handle is a no-op.
+type Span struct {
+	t    *Tracer
+	id   int
+	name string
+}
+
+// Begin opens a span and records its begin event.
+func (t *Tracer) Begin(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextSpan++
+	id := t.nextSpan
+	t.events = append(t.events, Event{
+		Seq: len(t.events) + 1, T: t.now(), Kind: KindBegin, Name: name, Span: id, Attrs: attrs,
+	})
+	t.mu.Unlock()
+	return &Span{t: t, id: id, name: name}
+}
+
+// End closes the span, recording its end event with any final attrs.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.events = append(s.t.events, Event{
+		Seq: len(s.t.events) + 1, T: s.t.now(), Kind: KindEnd, Name: s.name, Span: s.id, Attrs: attrs,
+	})
+	s.t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// eventJSON is the wire shape of one JSONL line. Attrs marshal as a
+// JSON object; encoding/json sorts map keys, so output is stable.
+type eventJSON struct {
+	Seq   int            `json:"seq"`
+	TNs   int64          `json:"t_ns"`
+	Kind  string         `json:"kind"`
+	Name  string         `json:"name"`
+	Span  int            `json:"span,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per event, in sequence order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	for _, e := range t.Events() {
+		rec := eventJSON{Seq: e.Seq, TNs: e.T.Nanoseconds(), Kind: e.Kind, Name: e.Name, Span: e.Span}
+		if len(e.Attrs) > 0 {
+			rec.Attrs = make(map[string]any, len(e.Attrs))
+			for _, a := range e.Attrs {
+				rec.Attrs[a.Key] = a.Value
+			}
+		}
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("obs: marshal trace event %d: %w", e.Seq, err)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

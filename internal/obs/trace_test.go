@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTracerEventsAndSpans(t *testing.T) {
+	clock := NewSimClock()
+	tr := NewTracer(clock)
+	tr.Event("boot")
+	clock.Set(6 * time.Hour)
+	sp := tr.Begin("round", A("round", 0))
+	tr.Event("order", A("edge", 3), A("kind", "upgrade"))
+	sp.End(A("changes", 2))
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d events, want 4", len(evs))
+	}
+	if evs[0].T != 0 || evs[1].T != 6*time.Hour {
+		t.Fatalf("timestamps %v %v", evs[0].T, evs[1].T)
+	}
+	for i, e := range evs {
+		if e.Seq != i+1 {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if evs[1].Kind != KindBegin || evs[3].Kind != KindEnd || evs[1].Span != evs[3].Span || evs[1].Span == 0 {
+		t.Fatalf("span pairing broken: %+v %+v", evs[1], evs[3])
+	}
+}
+
+func TestTracerJSONLIsValidAndDeterministic(t *testing.T) {
+	run := func() string {
+		clock := NewSimClock()
+		tr := NewTracer(clock)
+		for i := 0; i < 3; i++ {
+			clock.Set(time.Duration(i) * time.Minute)
+			sp := tr.Begin("round", A("round", i))
+			tr.Event("order", A("edge", i), A("gbps", 150.5), A("forced", i%2 == 0))
+			sp.End()
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identical runs produced different JSONL:\n%s---\n%s", a, b)
+	}
+	sc := bufio.NewScanner(bytes.NewReader([]byte(a)))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", lines, err, sc.Text())
+		}
+		for _, key := range []string{"seq", "t_ns", "kind", "name"} {
+			if _, ok := rec[key]; !ok {
+				t.Fatalf("line %d missing %q: %s", lines, key, sc.Text())
+			}
+		}
+	}
+	if lines != 9 {
+		t.Fatalf("%d JSONL lines, want 9", lines)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Event("x")
+	sp := tr.Begin("y")
+	sp.End()
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded events")
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilClockStampsZero(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.Event("x")
+	if evs := tr.Events(); evs[0].T != 0 {
+		t.Fatalf("t = %v, want 0", evs[0].T)
+	}
+}

@@ -62,6 +62,7 @@ func (k KPath) Allocate(g *graph.Graph, demands []Demand) (*Allocation, error) {
 		remaining[e.ID] = e.Capacity
 	}
 
+	var solves int
 	states := make([]kpState, len(demands))
 	for i, d := range demands {
 		if d.Volume <= 0 {
@@ -69,12 +70,14 @@ func (k KPath) Allocate(g *graph.Graph, demands []Demand) (*Allocation, error) {
 		}
 		paths := g.KShortestPaths(d.Src, d.Dst, kk)
 		states[i] = kpState{paths: paths, perPath: make([]float64, len(paths))}
+		solves++
 	}
 
 	// Water-fill tier by tier: higher-priority classes fill before
 	// lower ones touch the spectrum (fairness applies within a class,
 	// strict precedence across classes).
 	order := byPriority(demands)
+	var phases, pushes int
 	for start := 0; start < len(order); {
 		end := start + 1
 		for end < len(order) && demands[order[end]].Priority == demands[order[start]].Priority {
@@ -82,12 +85,15 @@ func (k KPath) Allocate(g *graph.Graph, demands []Demand) (*Allocation, error) {
 		}
 		tier := order[start:end]
 		start = end
-		waterFill(demands, states, tier, inc, remaining)
+		ph, pu := waterFill(demands, states, tier, inc, remaining)
+		phases += ph
+		pushes += pu
 	}
 
 	alloc := &Allocation{
 		Results:  make([]DemandResult, len(demands)),
 		EdgeFlow: make([]float64, g.NumEdges()),
+		Solver:   SolverStats{Solves: solves, Phases: phases, Augmentations: pushes},
 	}
 	for i, d := range demands {
 		st := &states[i]
@@ -116,10 +122,12 @@ type kpState struct {
 }
 
 // waterFill round-robins increments across the given demand indices
-// until none can make progress.
-func waterFill(demands []Demand, states []kpState, tier []int, inc float64, remaining []float64) {
+// until none can make progress. It reports the number of round-robin
+// sweeps (phases) and increments applied (pushes) for solver stats.
+func waterFill(demands []Demand, states []kpState, tier []int, inc float64, remaining []float64) (phases, pushes int) {
 	for progressed := true; progressed; {
 		progressed = false
+		phases++
 		for _, i := range tier {
 			d := demands[i]
 			st := &states[i]
@@ -148,9 +156,11 @@ func waterFill(demands []Demand, states []kpState, tier []int, inc float64, rema
 				}
 				st.perPath[pi] += amt
 				st.shipped += amt
+				pushes++
 				progressed = true
 				break
 			}
 		}
 	}
+	return phases, pushes
 }

@@ -115,6 +115,7 @@ func (m MaxConcurrent) Allocate(g *graph.Graph, demands []Demand) (*Allocation, 
 			remaining := demands[i].Volume
 			for remaining > graph.Eps && dual() < 1 {
 				p, _, ok := shortestByLength(g, demands[i].Src, demands[i].Dst, length, capOf)
+				alloc.Solver.Augmentations++
 				if !ok {
 					return nil, fmt.Errorf("te: demand %d disconnected on positive-capacity subgraph", i)
 				}
@@ -135,6 +136,9 @@ func (m MaxConcurrent) Allocate(g *graph.Graph, demands []Demand) (*Allocation, 
 			}
 		}
 	}
+
+	alloc.Solver.Solves = len(active)
+	alloc.Solver.Phases = phases
 
 	// Scale raw flows to feasibility: by the GK analysis, dividing by
 	// log_{1+ε}(1/δ) respects every capacity.

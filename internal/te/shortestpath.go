@@ -31,6 +31,8 @@ func (ShortestPath) Allocate(g *graph.Graph, demands []Demand) (*Allocation, err
 			continue
 		}
 		p, _, ok := work.ShortestPathDijkstra(d.Src, d.Dst)
+		alloc.Solver.Solves++
+		alloc.Solver.Phases++
 		if !ok {
 			continue
 		}
@@ -43,6 +45,7 @@ func (ShortestPath) Allocate(g *graph.Graph, demands []Demand) (*Allocation, err
 		if bottleneck <= graph.Eps {
 			continue
 		}
+		alloc.Solver.Augmentations++
 		for _, id := range p.Edges {
 			c := work.Edge(id).Capacity - bottleneck
 			if c < 0 { // float round-off
@@ -88,6 +91,7 @@ func (Greedy) Allocate(g *graph.Graph, demands []Demand) (*Allocation, error) {
 		if err != nil {
 			return nil, err
 		}
+		alloc.Solver.addGraph(res.Stats)
 		if res.Value <= graph.Eps {
 			continue
 		}

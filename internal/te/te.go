@@ -78,6 +78,26 @@ type DemandResult struct {
 	Paths []graph.PathFlow
 }
 
+// SolverStats aggregates flow-solver work across one allocation, for
+// the observability layer (plain integers; no overhead when unread).
+type SolverStats struct {
+	// Solves counts individual solver invocations (typically one per
+	// demand for the sequential allocators).
+	Solves int
+	// Phases aggregates graph.SolveStats.Phases (BFS level graphs,
+	// Dijkstra runs, or water-filling/GK phases, per algorithm).
+	Phases int
+	// Augmentations aggregates augmenting paths / path pushes applied.
+	Augmentations int
+}
+
+// addGraph folds one flow solve's counts into the aggregate.
+func (s *SolverStats) addGraph(st graph.SolveStats) {
+	s.Solves++
+	s.Phases += st.Phases
+	s.Augmentations += st.Augmentations
+}
+
 // Allocation is the output of a TE run.
 type Allocation struct {
 	// Results holds one entry per input demand, same order.
@@ -88,6 +108,8 @@ type Allocation struct {
 	Throughput float64
 	// Cost is sum(flow_e * cost_e) over the input graph.
 	Cost float64
+	// Solver counts the flow-solver work behind this allocation.
+	Solver SolverStats
 }
 
 // Algorithm is a TE scheme. Allocate must not modify g.

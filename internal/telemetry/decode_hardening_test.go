@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestReadFleetEveryTruncation cuts a valid stream at every byte
+// boundary: each prefix must produce an error, never a panic or a
+// silently short fleet.
+func TestReadFleetEveryTruncation(t *testing.T) {
+	f := sampleFleet()
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ReadFleet(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at byte %d of %d accepted", cut, len(data))
+		}
+	}
+	// The untruncated stream still decodes (the loop above didn't rely
+	// on a corrupt fixture).
+	if _, err := ReadFleet(bytes.NewReader(data)); err != nil {
+		t.Fatalf("full stream rejected: %v", err)
+	}
+}
+
+// TestReadFleetFlippedMagic flips each bit of each magic byte in turn:
+// every corruption must be rejected before any allocation-heavy
+// decoding happens.
+func TestReadFleetFlippedMagic(t *testing.T) {
+	f := sampleFleet()
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for pos := 0; pos < 4; pos++ {
+		for bit := 0; bit < 8; bit++ {
+			corrupt := append([]byte(nil), data...)
+			corrupt[pos] ^= 1 << bit
+			if _, err := ReadFleet(bytes.NewReader(corrupt)); err == nil {
+				t.Fatalf("flipped bit %d of magic byte %d accepted", bit, pos)
+			}
+		}
+	}
+}
+
+// TestWriteSummaryJSONEmptyFleet asserts the summary of a fleet with no
+// links is valid JSON with zero counts, not an error or a null blob.
+func TestWriteSummaryJSONEmptyFleet(t *testing.T) {
+	f := NewFleet()
+	var buf bytes.Buffer
+	if err := f.WriteSummaryJSON(&buf); err != nil {
+		t.Fatalf("empty fleet summary failed: %v", err)
+	}
+	var out struct {
+		IntervalSeconds float64           `json:"interval_seconds"`
+		Links           []json.RawMessage `json:"links"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if out.IntervalSeconds <= 0 {
+		t.Fatalf("interval_seconds = %v, want the default interval", out.IntervalSeconds)
+	}
+	if len(out.Links) != 0 {
+		t.Fatalf("links has %d entries, want 0", len(out.Links))
+	}
+}

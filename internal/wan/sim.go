@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/modulation"
+	"repro/internal/obs"
 	"repro/internal/qot"
 	"repro/internal/rng"
 	"repro/internal/snr"
@@ -80,6 +81,12 @@ type SimConfig struct {
 	// QoT holds the line-system parameters for LengthAware mode
 	// (default qot.Default()).
 	QoT qot.Params
+	// Obs receives per-round metrics, order trace events, and manifest
+	// phase durations. Nil (the default) disables observability at no
+	// cost. Trace timestamps use the simulation clock (round ×
+	// RoundInterval), never the wall clock, so same-seed runs emit
+	// byte-identical metrics and traces.
+	Obs *obs.Obs
 }
 
 // applyDefaults fills zero values.
@@ -307,6 +314,12 @@ func (s *Simulation) Run(policy Policy) (*Result, error) {
 	prevFlow := make([]float64, net.G.NumEdges())
 
 	for r := 0; r < cfg.Rounds; r++ {
+		// The simulation clock is the trace timebase: round × interval.
+		cfg.Obs.SetSimTime(time.Duration(r) * cfg.RoundInterval)
+		endRound := cfg.Obs.Span("wan.round",
+			obs.A("policy", policy.String()), obs.A("round", r))
+		endPhase := cfg.Obs.PhaseTimer(fmt.Sprintf("%s/round%03d", policy, r))
+
 		demands := s.demandsBase
 		if cfg.DemandSigma > 0 {
 			demands = PerturbTraffic(demands, cfg.DemandSigma, trafficRng)
@@ -342,6 +355,7 @@ func (s *Simulation) Run(policy Policy) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			s.recordSolver(policy, alloc.Solver)
 			metrics.ShippedGbps = alloc.Throughput
 			metrics.CapacityGbps = g.TotalCapacity()
 			copy(prevFlow, alloc.EdgeFlow)
@@ -356,6 +370,7 @@ func (s *Simulation) Run(policy Policy) (*Result, error) {
 				for w := 0; w < net.Wavelengths; w++ {
 					feas := s.FeasibleAt(f, w, r)
 					if feas < configured[f][w] {
+						s.emitOrder(policy, r, f, w, configured[f][w], feas, "forced-downgrade")
 						configured[f][w] = feas
 						changes++
 					}
@@ -391,6 +406,7 @@ func (s *Simulation) Run(policy Policy) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			s.recordSolver(policy, alloc.Solver)
 			dec, err := aug.Translate(graph.FlowResult{
 				Value:    alloc.Throughput,
 				EdgeFlow: alloc.EdgeFlow,
@@ -404,6 +420,7 @@ func (s *Simulation) Run(policy Policy) (*Result, error) {
 				f := net.FiberOf[ch.Edge]
 				for w := 0; w < net.Wavelengths; w++ {
 					if feas := s.FeasibleAt(f, w, r); feas > configured[f][w] {
+						s.emitOrder(policy, r, f, w, configured[f][w], feas, "upgrade")
 						configured[f][w] = feas
 						changes++
 					}
@@ -450,9 +467,59 @@ func (s *Simulation) Run(policy Policy) (*Result, error) {
 		}
 		metrics.LinksDark = dark
 
+		s.recordRound(policy, metrics)
+		endRound()
+		endPhase()
 		res.Rounds = append(res.Rounds, metrics)
 	}
 	return res, nil
+}
+
+// emitOrder records one wavelength reconfiguration on the trace. The
+// per-round count of wan.order events equals RoundMetrics.Changes, so
+// a trace consumer can reconstruct exactly the orders a run printed.
+func (s *Simulation) emitOrder(policy Policy, round, fiber, wavelength int, from, to modulation.Gbps, cause string) {
+	if s.cfg.Obs == nil {
+		return
+	}
+	s.cfg.Obs.Event("wan.order",
+		obs.A("policy", policy.String()),
+		obs.A("round", round),
+		obs.A("fiber", fiber),
+		obs.A("wavelength", wavelength),
+		obs.A("from_gbps", float64(from)),
+		obs.A("to_gbps", float64(to)),
+		obs.A("cause", cause))
+}
+
+// recordRound publishes one round's metrics as per-policy gauges (the
+// latest round's values) and counters (run totals).
+func (s *Simulation) recordRound(policy Policy, m RoundMetrics) {
+	o := s.cfg.Obs
+	if o == nil {
+		return
+	}
+	pl := obs.L("policy", policy.String())
+	o.Gauge("wan_offered_gbps", "Total demand volume in the current round.", pl).Set(m.OfferedGbps)
+	o.Gauge("wan_shipped_gbps", "TE throughput in the current round.", pl).Set(m.ShippedGbps)
+	o.Gauge("wan_capacity_gbps", "Total IP capacity in the current round.", pl).Set(m.CapacityGbps)
+	o.Gauge("wan_links_dark", "IP adjacencies with zero capacity in the current round.", pl).Set(float64(m.LinksDark))
+	o.Gauge("wan_round_changes", "Wavelength capacity changes in the current round.", pl).Set(float64(m.Changes))
+	o.Counter("wan_rounds_total", "Simulation rounds executed.", pl).Inc()
+	o.Counter("wan_changes_total", "Wavelength capacity changes across the run.", pl).Add(float64(m.Changes))
+	o.Counter("wan_disrupted_gbps_seconds_total", "Estimated traffic × downtime disrupted by reconfigurations.", pl).Add(m.DisruptedGbpsSec)
+}
+
+// recordSolver publishes the flow-solver work behind one TE allocation.
+func (s *Simulation) recordSolver(policy Policy, st te.SolverStats) {
+	o := s.cfg.Obs
+	if o == nil {
+		return
+	}
+	pl := obs.L("policy", policy.String())
+	o.Counter("wan_te_solves_total", "Flow-solver invocations across TE rounds.", pl).Add(float64(st.Solves))
+	o.Counter("wan_te_solver_phases_total", "Flow-solver phases (level graphs / Dijkstra runs / water-fill sweeps) across TE rounds.", pl).Add(float64(st.Phases))
+	o.Counter("wan_te_solver_augmentations_total", "Augmenting paths / path pushes applied across TE rounds.", pl).Add(float64(st.Augmentations))
 }
 
 // staticMaxCapacity is the feasible capacity a static planner would
