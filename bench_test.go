@@ -12,6 +12,7 @@ package repro
 // graph, augmentation granularity, and the two flow solvers.
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -235,6 +236,32 @@ func BenchmarkControllerSafeguards(b *testing.B) {
 			b.ReportMetric(float64(res.Variants[0].Changes), "changes-plain")
 			b.ReportMetric(float64(res.Variants[1].Changes), "changes-damped")
 		}
+	}
+}
+
+// --- Fan-out ---
+
+// BenchmarkFigure2aWorkers measures the deterministic fan-out on the
+// fleet generation + analysis path behind Figure 2a/2b. Output is
+// byte-identical for every worker count (see internal/par and the CI
+// byte-identity smoke); only wall time may differ, and only when
+// GOMAXPROCS grants real parallelism — on a single-core runner the
+// two entries should be within noise of each other.
+func BenchmarkFigure2aWorkers(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			o := opts()
+			o.Workers = w
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Figure2a(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(res.MeanRange, "mean-range-dB")
+				}
+			}
+		})
 	}
 }
 

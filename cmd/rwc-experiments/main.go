@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rwc-experiments [-quick] [-seed N] [-figure name]
+//	rwc-experiments [-quick] [-seed N] [-figure name] [-workers N]
 //	                [-metrics-out m.prom] [-trace-out t.jsonl]
 //	                [-manifest-out run.json]
 //
@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 // tabler is any experiment result.
@@ -47,6 +48,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file")
 	traceOut := flag.String("trace-out", "", "write the per-figure trace as JSONL to this file")
 	manifestOut := flag.String("manifest-out", "", "write the run manifest as JSON to this file")
+	workers := flag.Int("workers", 0, "fan-out width for figures and the fleet/simulation work inside them (0 = GOMAXPROCS); results are identical for every value")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -57,6 +59,7 @@ func main() {
 		opts.Seed = *seed
 		opts.Dataset.Seed = *seed
 	}
+	opts.Workers = *workers
 
 	var o *obs.Obs
 	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" {
@@ -129,16 +132,39 @@ func main() {
 		os.Exit(2)
 	}
 
-	for _, name := range selected {
-		res, err := registry[name](opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
-		}
-		if err := render(res.Table()); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: render: %v\n", name, err)
-			os.Exit(1)
-		}
+	// Figures fan out over -workers. Each figure computes against a
+	// private obs child (created up front, so the fan-out is
+	// deterministic); children are merged and tables rendered in figure
+	// order, keeping stdout, metrics, and traces identical for every
+	// worker count. One consequence vs. the old serial loop: every
+	// figure's trace now starts at sim time 0 instead of inheriting the
+	// leftover clock of the preceding figure.
+	children := make([]*obs.Obs, len(selected))
+	for i := range children {
+		children[i] = o.Child()
+	}
+	err := par.Stream(
+		par.Opts{Workers: *workers, Name: "experiments/figures", Obs: o},
+		len(selected),
+		func(worker, i int) (tabler, error) {
+			fopts := opts
+			fopts.Obs = children[i]
+			res, err := registry[selected[i]](fopts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", selected[i], err)
+			}
+			return res, nil
+		},
+		func(i int, res tabler) error {
+			o.Merge(children[i])
+			if err := render(res.Table()); err != nil {
+				return fmt.Errorf("%s: render: %v", selected[i], err)
+			}
+			return nil
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	if o != nil {

@@ -7,7 +7,7 @@
 //
 //	rwc-wansim [-topology abilene|us|random] [-rounds N] [-policy p]
 //	           [-demand f] [-wavelengths N] [-seed N] [-hitless]
-//	           [-metrics-out m.prom] [-trace-out t.jsonl]
+//	           [-workers N] [-metrics-out m.prom] [-trace-out t.jsonl]
 //	           [-manifest-out run.json] [-pprof addr]
 //
 // The three -*-out flags enable the observability layer: -metrics-out
@@ -98,6 +98,7 @@ func main() {
 	wavelengths := flag.Int("wavelengths", 2, "wavelengths per fiber")
 	seed := flag.Uint64("seed", 2017, "simulation seed")
 	hitless := flag.Bool("hitless", false, "assume hitless (35 ms) capacity changes instead of 68 s")
+	workers := flag.Int("workers", 0, "fan-out width for SNR pre-generation and policy runs (0 = GOMAXPROCS); results are identical for every value")
 	lengthAware := flag.Bool("lengthaware", false, "derive per-fiber SNR baselines from link length (QoT model)")
 	metricsOut := flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file")
 	traceOut := flag.String("trace-out", "", "write the decision trace as JSONL to this file")
@@ -146,6 +147,7 @@ func main() {
 		DemandFraction: *demand,
 		DemandSigma:    0.1,
 		Obs:            o,
+		Workers:        *workers,
 	}
 	if *hitless {
 		cfg.ChangeDowntime = 35 * time.Millisecond
@@ -159,12 +161,16 @@ func main() {
 	fmt.Printf("# topology=%s nodes=%d fibers=%d wavelengths=%d rounds=%d demand=%.2fx seed=%d\n",
 		*topology, net.G.NumNodes(), net.NumFibers, *wavelengths, *rounds, *demand, *seed)
 	fmt.Println("policy,round,offered_gbps,shipped_gbps,satisfied,capacity_gbps,changes,dark_links,disrupted_gbps_sec")
-	for _, p := range run {
-		res, err := sim.Run(p)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rwc-wansim: %v: %v\n", p, err)
-			os.Exit(1)
-		}
+	// Policies run concurrently (-workers) against the same conditions;
+	// per-policy obs children are merged back in policy order inside
+	// RunPolicies, so every output below is byte-identical to a serial
+	// run.
+	results, err := sim.RunPolicies(run)
+	if err != nil {
+		fatal(err)
+	}
+	for i, p := range run {
+		res := results[i]
 		for _, m := range res.Rounds {
 			fmt.Printf("%s,%d,%.1f,%.1f,%.4f,%.0f,%d,%d,%.1f\n",
 				p, m.Round, m.OfferedGbps, m.ShippedGbps, m.SatisfiedFraction(),

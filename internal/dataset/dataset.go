@@ -16,6 +16,8 @@ import (
 
 	"repro/internal/failures"
 	"repro/internal/modulation"
+	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/snr"
 	"repro/internal/stats"
@@ -42,6 +44,16 @@ type Config struct {
 	Fiber snr.FiberParams
 	// Ladder is the modulation ladder in effect.
 	Ladder *modulation.Ladder
+	// Workers bounds how many fibers are generated and analyzed
+	// concurrently; <= 0 means runtime.GOMAXPROCS(0). Every value
+	// produces identical results — per-fiber rng.Sources are split in
+	// fiber order before dispatch and results are consumed in fiber
+	// order (see internal/par).
+	Workers int
+	// Obs receives fan-out instrumentation: the deterministic
+	// rwc_par_tasks_total counter and wall/busy manifest phases for the
+	// dataset/stream and dataset/analyze pools. Nil disables it.
+	Obs *obs.Obs
 }
 
 // DefaultConfig is the paper-scale fleet: 50 fibers × 40 wavelengths =
@@ -89,33 +101,57 @@ type LinkMeta struct {
 	Fiber, Wavelength int
 }
 
-// Stream generates the fleet one fiber at a time and visits every
-// wavelength's series. Series memory is reused per fiber; visitors must
-// not retain the *snr.Series beyond the call. Returning a non-nil error
-// aborts the stream.
+// linkMeta names fiber f's wavelength w the way the whole repo refers
+// to it.
+func linkMeta(f, w int) LinkMeta {
+	return LinkMeta{
+		Name:  fmt.Sprintf("fiber%03d-wl%02d", f, w),
+		Fiber: f, Wavelength: w,
+	}
+}
+
+// parOpts configures one fan-out pool over the fleet's fibers.
+func (c Config) parOpts(pool string) par.Opts {
+	return par.Opts{Workers: c.Workers, Name: pool, Obs: c.Obs}
+}
+
+// fiberRngs pre-splits one rng.Source per fiber, in fiber order — the
+// first half of the determinism contract (internal/par): splitting
+// up front consumes exactly the parent state a serial loop would, so
+// the fleet is byte-identical for every worker count.
+func (c Config) fiberRngs() []*rng.Source {
+	root := rng.New(c.Seed)
+	rngs := make([]*rng.Source, c.Fibers)
+	for f := range rngs {
+		rngs[f] = root.Split()
+	}
+	return rngs
+}
+
+// Stream generates the fleet and visits every wavelength's series in
+// fiber, wavelength order. Fibers are generated concurrently (Config.
+// Workers), but visit always runs on the calling goroutine, in order;
+// at most Workers generated-but-unvisited fibers are held in memory, so
+// visitors must not retain the *snr.Series beyond the call. Returning a
+// non-nil error aborts the stream.
 func Stream(cfg Config, visit func(meta LinkMeta, s *snr.Series) error) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
 	n := snr.SamplesFor(cfg.Duration)
-	root := rng.New(cfg.Seed)
-	for f := 0; f < cfg.Fibers; f++ {
-		fiberRng := root.Split()
-		fiber, err := snr.GenerateFiber(cfg.Fiber, n, fiberRng)
-		if err != nil {
-			return err
-		}
-		for w, s := range fiber.Series {
-			meta := LinkMeta{
-				Name:  fmt.Sprintf("fiber%03d-wl%02d", f, w),
-				Fiber: f, Wavelength: w,
+	rngs := cfg.fiberRngs()
+	return par.Stream(cfg.parOpts("dataset/stream"), cfg.Fibers,
+		func(worker, f int) (*snr.Fiber, error) {
+			return snr.GenerateFiber(cfg.Fiber, n, rngs[f])
+		},
+		func(f int, fiber *snr.Fiber) error {
+			for w, s := range fiber.Series {
+				if err := visit(linkMeta(f, w), s); err != nil {
+					return err
+				}
 			}
-			if err := visit(meta, s); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+			return nil
+		})
 }
 
 // GenerateFiberSeries generates just one fiber of the fleet (used by
@@ -237,32 +273,55 @@ type FleetStats struct {
 	FailureTickets []failures.Ticket
 }
 
-// AnalyzeFleet streams the fleet and aggregates.
+// AnalyzeFleet generates and analyzes the fleet, aggregating per-link
+// stats. Each fiber's generation + per-wavelength analysis (the
+// dominant cost) fans out over Config.Workers; aggregation — including
+// the ticket rng draws, whose order is observable — runs on the calling
+// goroutine in fiber order, so the result is identical for every worker
+// count.
 func AnalyzeFleet(cfg Config) (*FleetStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := snr.SamplesFor(cfg.Duration)
+	rngs := cfg.fiberRngs()
 	fs := &FleetStats{}
 	ticketModel := failures.DefaultTicketModel()
 	ticketRng := rng.New(cfg.Seed ^ 0x71c7)
-	err := Stream(cfg, func(meta LinkMeta, s *snr.Series) error {
-		ls, err := Analyze(meta, s, cfg.Ladder)
-		if err != nil {
-			return err
-		}
-		// Samples are reused; LinkStats holds only derived values, so
-		// retaining it is safe.
-		fs.Links = append(fs.Links, ls)
-		if ls.FeasibleOk && ls.Feasible.Capacity > DeployedCapacity {
-			fs.CapacityGainGbps += float64(ls.Feasible.Capacity - DeployedCapacity)
-		}
-		for _, sp := range ls.Failures {
-			fs.FailureLowestSNR = append(fs.FailureLowestSNR, sp.LowestSNR)
-			lossOfLight := sp.LowestSNR <= snr.LossOfLightdB
-			fs.FailureTickets = append(fs.FailureTickets, failures.Ticket{
-				Cause:    ticketModel.AssignCause(lossOfLight, ticketRng),
-				Duration: sp.Duration(),
-			})
-		}
-		return nil
-	})
+	err := par.Stream(cfg.parOpts("dataset/analyze"), cfg.Fibers,
+		func(worker, f int) ([]LinkStats, error) {
+			fiber, err := snr.GenerateFiber(cfg.Fiber, n, rngs[f])
+			if err != nil {
+				return nil, err
+			}
+			links := make([]LinkStats, len(fiber.Series))
+			for w, s := range fiber.Series {
+				links[w], err = Analyze(linkMeta(f, w), s, cfg.Ladder)
+				if err != nil {
+					return nil, err
+				}
+			}
+			// The raw samples die with this task; LinkStats holds only
+			// derived values.
+			return links, nil
+		},
+		func(f int, links []LinkStats) error {
+			for _, ls := range links {
+				fs.Links = append(fs.Links, ls)
+				if ls.FeasibleOk && ls.Feasible.Capacity > DeployedCapacity {
+					fs.CapacityGainGbps += float64(ls.Feasible.Capacity - DeployedCapacity)
+				}
+				for _, sp := range ls.Failures {
+					fs.FailureLowestSNR = append(fs.FailureLowestSNR, sp.LowestSNR)
+					lossOfLight := sp.LowestSNR <= snr.LossOfLightdB
+					fs.FailureTickets = append(fs.FailureTickets, failures.Ticket{
+						Cause:    ticketModel.AssignCause(lossOfLight, ticketRng),
+						Duration: sp.Duration(),
+					})
+				}
+			}
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}

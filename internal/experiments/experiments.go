@@ -36,6 +36,20 @@ type Options struct {
 	// durations; nil (the default) disables observability at no cost.
 	// Obs is threaded through to the simulations the figures run.
 	Obs *obs.Obs
+	// Workers bounds the fan-out inside each figure (fleet generation
+	// and analysis, per-policy simulation runs); <= 0 means
+	// runtime.GOMAXPROCS(0). Every value produces identical figures,
+	// metrics, and traces (see internal/par).
+	Workers int
+}
+
+// datasetConfig is o.Dataset with the fan-out plumbing (workers and
+// observability) threaded through.
+func (o Options) datasetConfig() dataset.Config {
+	c := o.Dataset
+	c.Workers = o.Workers
+	c.Obs = o.Obs
+	return c
 }
 
 // span opens a per-figure trace span plus a manifest phase timer and

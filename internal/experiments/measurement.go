@@ -166,7 +166,7 @@ type Figure2aResult struct {
 // Figure2a regenerates the SNR-variation CDFs.
 func Figure2a(o Options) (*Figure2aResult, error) {
 	defer o.span("figure2a")()
-	fs, err := dataset.AnalyzeFleet(o.Dataset)
+	fs, err := dataset.AnalyzeFleet(o.datasetConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +223,7 @@ type Figure2bResult struct {
 // Figure2b regenerates the feasible-capacity distribution.
 func Figure2b(o Options) (*Figure2bResult, error) {
 	defer o.span("figure2b")()
-	fs, err := dataset.AnalyzeFleet(o.Dataset)
+	fs, err := dataset.AnalyzeFleet(o.datasetConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -380,7 +380,7 @@ func Figure3b(o Options) (*Figure3bResult, error) {
 	defer o.span("figure3b")()
 	durations := make(map[modulation.Gbps][]float64)
 	ladder := o.Dataset.Ladder
-	err := dataset.Stream(o.Dataset, func(meta dataset.LinkMeta, s *snr.Series) error {
+	err := dataset.Stream(o.datasetConfig(), func(meta dataset.LinkMeta, s *snr.Series) error {
 		hdr, err := stats.HDR(s.Samples, dataset.HDRMass)
 		if err != nil {
 			return err
@@ -461,7 +461,7 @@ func Figure4(o Options) (*Figure4Result, error) {
 		return nil, err
 	}
 	res := &Figure4Result{Shares: failures.Summarize(tickets), Tickets: n}
-	fs, err := dataset.AnalyzeFleet(o.Dataset)
+	fs, err := dataset.AnalyzeFleet(o.datasetConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -503,7 +503,7 @@ type Figure4cResult struct {
 // Figure4c regenerates the failure-SNR distribution.
 func Figure4c(o Options) (*Figure4cResult, error) {
 	defer o.span("figure4c")()
-	fs, err := dataset.AnalyzeFleet(o.Dataset)
+	fs, err := dataset.AnalyzeFleet(o.datasetConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,35 @@
+package experiments
+
+// Parity test for the fan-out plumbing at the figure layer (ISSUE 3):
+// Options.Workers must not change any figure output.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFiguresWorkersParity(t *testing.T) {
+	run := func(workers int) (*ThroughputGainsResult, *Figure2aResult) {
+		o := QuickOptions()
+		o.Workers = workers
+		tg, err := ThroughputGains(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2a, err := Figure2a(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tg, f2a
+	}
+	wantTG, want2a := run(1)
+	for _, w := range []int{3} {
+		gotTG, got2a := run(w)
+		if !reflect.DeepEqual(gotTG, wantTG) {
+			t.Fatalf("workers=%d: ThroughputGains differs from workers=1:\n%+v\nvs\n%+v", w, gotTG, wantTG)
+		}
+		if !reflect.DeepEqual(got2a, want2a) {
+			t.Fatalf("workers=%d: Figure2a differs from workers=1", w)
+		}
+	}
+}

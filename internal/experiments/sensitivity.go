@@ -42,7 +42,7 @@ func ThresholdSensitivity(o Options) (*ThresholdSensitivityResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := o.Dataset
+		cfg := o.datasetConfig()
 		cfg.Ladder = ladder
 		fs, err := dataset.AnalyzeFleet(cfg)
 		if err != nil {

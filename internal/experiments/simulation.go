@@ -50,17 +50,20 @@ func ThroughputGains(o Options) (*ThroughputGainsResult, error) {
 		DemandFraction: 1.2,
 		DemandSigma:    0.1,
 		Obs:            o.Obs,
+		Workers:        o.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
 	res := &ThroughputGainsResult{Topology: "Abilene (11 nodes, 14 fibers, 2 wavelengths)", Rounds: o.SimRounds}
+	policies := []wan.Policy{wan.PolicyStatic100, wan.PolicyStaticMax, wan.PolicyDynamic}
+	runs, err := sim.RunPolicies(policies)
+	if err != nil {
+		return nil, err
+	}
 	var static100 float64
-	for _, p := range []wan.Policy{wan.PolicyStatic100, wan.PolicyStaticMax, wan.PolicyDynamic} {
-		r, err := sim.Run(p)
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range policies {
+		r := runs[i]
 		row := ThroughputPolicy{
 			Policy:           p,
 			MeanSatisfied:    r.MeanSatisfied(),
@@ -138,7 +141,7 @@ func AvailabilityGains(o Options) (*AvailabilityResult, error) {
 	res := &AvailabilityResult{}
 	links := 0
 	var availStatic, availFlap float64
-	err = dataset.Stream(o.Dataset, func(meta dataset.LinkMeta, s *snr.Series) error {
+	err = dataset.Stream(o.datasetConfig(), func(meta dataset.LinkMeta, s *snr.Series) error {
 		links++
 		spans := failures.Detect(s.Samples, th100)
 		for _, sp := range spans {

@@ -89,12 +89,7 @@ func (g *Graph) MinCostFlow(src, dst NodeID, limit float64) (FlowResult, error) 
 		if math.IsInf(dist[dst], 1) {
 			break // no augmenting path left
 		}
-		// Update potentials.
-		for i := range pot {
-			if !math.IsInf(dist[i], 1) {
-				pot[i] += dist[i]
-			}
-		}
+		updatePotentials(pot, dist, dist[dst])
 		// Find bottleneck along the path.
 		push := limit - total
 		for v := dst; v != src; {
@@ -120,6 +115,30 @@ func (g *Graph) MinCostFlow(src, dst NodeID, limit float64) (FlowResult, error) 
 	}
 
 	return FlowResult{Value: total, EdgeFlow: r.flows(g), Cost: totalCost, Stats: stats}, nil
+}
+
+// updatePotentials folds one Dijkstra phase's distances into the
+// Johnson potentials: pot[i] += min(dist[i], dstDist).
+//
+// The cap at dstDist (the phase's distance to the sink) is the
+// standard successive-shortest-path rule. Leaving a phase-unreachable
+// node's potential untouched while its neighbours advance breaks the
+// reduced-cost invariant the Dijkstra scan checks: if a later residual
+// arc makes the node reachable again, the first arc scanned out of it
+// sees rc = cost + pot[stale] - pot[advanced] < 0 and MinCostFlow
+// reports a spurious "negative reduced cost" error. Capping at dstDist
+// keeps every arc between ever-reachable nodes at rc >= 0 regardless
+// of which nodes a given phase visits (arcs whose reduced cost the
+// next phase consults all lie at distance <= dstDist, so the cap never
+// under-advances a node that matters).
+func updatePotentials(pot, dist []float64, dstDist float64) {
+	for i := range pot {
+		if d := dist[i]; d < dstDist { // Inf compares false
+			pot[i] += d
+		} else {
+			pot[i] += dstDist
+		}
+	}
 }
 
 // MinCostMaxFlow returns the minimum-cost maximum flow from src to dst.

@@ -1,0 +1,218 @@
+package graph
+
+// Regression tests for the successive-shortest-path potential update
+// (ISSUE 3). The old rule left phase-unreachable nodes' potentials
+// untouched while their neighbours advanced; when a later residual arc
+// re-enters such a node, the Dijkstra scan sees a negative reduced
+// cost and MinCostFlow aborts with a spurious "negative reduced cost"
+// error. updatePotentials now caps every node at dist[dst].
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// TestUpdatePotentialsStalePhaseSequence replays the stale-potential
+// phase sequence at the potential level and checks the invariant the
+// Dijkstra scan enforces. This test FAILS against the pre-fix update
+// rule (pot[i] += dist[i] only when dist[i] is finite).
+func TestUpdatePotentialsStalePhaseSequence(t *testing.T) {
+	inf := math.Inf(1)
+	// Four nodes: src=0, intermediate 1, x=2, dst=3. Before the phase
+	// the reduced cost of the arc x->dst (cost 2) is
+	//   rc = 2 + pot[2] - pot[3] = 2 + 1 - 3 = 0,
+	// i.e. the invariant holds. The phase then reaches everything
+	// except x (its only residual in-arc has no capacity this phase).
+	pot := []float64{0, 1, 1, 3}
+	dist := []float64{0, 2, inf, 5}
+	updatePotentials(pot, dist, dist[3])
+
+	// A later phase can restore capacity into x (pushing flow on an
+	// arc out of x adds residual capacity on the reverse arc) and then
+	// scan x->dst. Its reduced cost must still be nonnegative; with
+	// the old rule pot[2] stays 1 while pot[3] advances to 8, so
+	// rc = 2 + 1 - 8 = -5 and MinCostFlow would report the spurious
+	// invariant-broken error.
+	if rc := 2 + pot[2] - pot[3]; rc < 0 {
+		t.Fatalf("reduced cost of arc out of phase-unreachable node went negative: %v (pot=%v)", rc, pot)
+	}
+	// Reachable nodes still advance by their exact distances…
+	if pot[0] != 0 || pot[1] != 3 {
+		t.Fatalf("reachable potentials wrong: %v", pot)
+	}
+	// …and unreachable (or beyond-dst) nodes advance by dist[dst].
+	if pot[2] != 6 || pot[3] != 8 {
+		t.Fatalf("capped potentials wrong: %v", pot)
+	}
+}
+
+// TestUpdatePotentialsPreservesReducedCosts: after an update with any
+// mix of reachable/unreachable nodes, every arc between reachable
+// nodes that satisfied Dijkstra's relaxation bound keeps rc >= 0, and
+// arcs out of unreachable nodes never lose potential relative to
+// reachable heads.
+func TestUpdatePotentialsPreservesReducedCosts(t *testing.T) {
+	inf := math.Inf(1)
+	pot := []float64{0, 2, 5, 0, 7}
+	dist := []float64{0, 1, 4, inf, 9} // node 3 unreachable, node 4 beyond dst
+	dd := 4.0                          // dist[dst] = dist[2]
+	before := append([]float64(nil), pot...)
+	updatePotentials(pot, dist, dd)
+	for i := range pot {
+		d := dist[i]
+		want := before[i] + math.Min(d, dd)
+		if math.IsInf(d, 1) {
+			want = before[i] + dd
+		}
+		if pot[i] != want {
+			t.Fatalf("pot[%d] = %v, want %v", i, pot[i], want)
+		}
+		if pot[i] < before[i] {
+			t.Fatalf("pot[%d] decreased: %v -> %v", i, before[i], pot[i])
+		}
+	}
+}
+
+// TestMinCostFlowUnreachableNodeMultiPhase runs the full solver on a
+// graph whose node x stays Dijkstra-unreachable across several phases
+// (zero-capacity in-arc) while the rest of the network goes through
+// the multi-phase augmentation that advances all other potentials.
+// The solve must finish without the spurious invariant error and with
+// the hand-computed optimum.
+func TestMinCostFlowUnreachableNodeMultiPhase(t *testing.T) {
+	g := New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	x := g.AddNode("x")
+	d := g.AddNode("d")
+	g.AddEdge(Edge{From: s, To: a, Capacity: 1, Cost: 1})
+	g.AddEdge(Edge{From: a, To: d, Capacity: 1, Cost: 1})
+	g.AddEdge(Edge{From: s, To: b, Capacity: 1, Cost: 2})
+	g.AddEdge(Edge{From: b, To: d, Capacity: 1, Cost: 2})
+	// x hangs off a zero-capacity arc: unreachable in every phase, but
+	// its potential is still folded into the update each round.
+	g.AddEdge(Edge{From: s, To: x, Capacity: 0, Cost: -3})
+	g.AddEdge(Edge{From: x, To: d, Capacity: 5, Cost: 0})
+
+	res, err := g.MinCostMaxFlow(s, d)
+	if err != nil {
+		t.Fatalf("MinCostMaxFlow: %v", err)
+	}
+	if !stats.ApproxInDelta(res.Value, 2, 1e-9) || !stats.ApproxInDelta(res.Cost, 6, 1e-9) {
+		t.Fatalf("value %v cost %v, want 2 and 6", res.Value, res.Cost)
+	}
+	if res.Stats.Phases < 2 {
+		t.Fatalf("expected a multi-phase solve, got %d phases", res.Stats.Phases)
+	}
+}
+
+// referenceMinCostMaxFlow is an independent successive-shortest-path
+// oracle that runs Bellman-Ford on the residual graph each phase
+// instead of Dijkstra-with-potentials. Slow but potential-free, so it
+// cannot suffer the stale-potential failure by construction.
+func referenceMinCostMaxFlow(g *Graph, src, dst NodeID) (value, cost float64) {
+	r := newResidual(g)
+	n := r.n
+	for {
+		dist := make([]float64, n)
+		prevArc := make([]int, n)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevArc[i] = -1
+		}
+		dist[src] = 0
+		for iter := 0; iter < n; iter++ {
+			improved := false
+			for u := 0; u < n; u++ {
+				if math.IsInf(dist[u], 1) {
+					continue
+				}
+				for _, a := range r.adj[u] {
+					if r.cap[a] <= Eps {
+						continue
+					}
+					v := r.head[a]
+					if nd := dist[u] + r.cost[a]; nd+Eps < dist[v] {
+						dist[v] = nd
+						prevArc[v] = a
+						improved = true
+					}
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		if math.IsInf(dist[dst], 1) {
+			return value, cost
+		}
+		push := math.Inf(1)
+		for v := dst; v != src; {
+			a := prevArc[v]
+			if r.cap[a] < push {
+				push = r.cap[a]
+			}
+			v = r.from(a)
+		}
+		if push <= Eps {
+			return value, cost
+		}
+		for v := dst; v != src; {
+			a := prevArc[v]
+			r.cap[a] -= push
+			r.cap[a^1] += push
+			cost += push * r.cost[a]
+			v = r.from(a)
+		}
+		value += push
+	}
+}
+
+// TestMinCostFlowMatchesBellmanFordReference sweeps random graphs —
+// zero-capacity arcs and negative costs included, the exact regime the
+// stale-potential sequence needs — and checks MinCostMaxFlow against
+// the potential-free oracle on every solvable instance.
+func TestMinCostFlowMatchesBellmanFordReference(t *testing.T) {
+	trials := 4000
+	if testing.Short() {
+		trials = 400
+	}
+	r := rng.New(0xf10f)
+	checked := 0
+	for trial := 0; trial < trials; trial++ {
+		n := 4 + r.Intn(5)
+		g := New()
+		g.AddNodes(n)
+		m := n + r.Intn(2*n)
+		for e := 0; e < m; e++ {
+			u, v := NodeID(r.Intn(n)), NodeID(r.Intn(n))
+			if u == v {
+				continue
+			}
+			g.AddEdge(Edge{From: u, To: v,
+				Capacity: float64(r.Intn(4)),
+				Cost:     float64(r.Intn(11) - 4)})
+		}
+		src, dst := NodeID(0), NodeID(n-1)
+		if _, neg := g.BellmanFord(src); neg {
+			continue // legitimately rejected: negative cycle
+		}
+		res, err := g.MinCostMaxFlow(src, dst)
+		if err != nil {
+			t.Fatalf("trial %d: MinCostMaxFlow: %v", trial, err)
+		}
+		wantV, wantC := referenceMinCostMaxFlow(g, src, dst)
+		if !stats.ApproxInDelta(res.Value, wantV, 1e-6) || !stats.ApproxInDelta(res.Cost, wantC, 1e-6) {
+			t.Fatalf("trial %d: got value %v cost %v, reference value %v cost %v",
+				trial, res.Value, res.Cost, wantV, wantC)
+		}
+		checked++
+	}
+	if checked < trials/2 {
+		t.Fatalf("only %d/%d instances checked", checked, trials)
+	}
+}

@@ -115,11 +115,7 @@ func GenerateFiber(fp FiberParams, n int, r *rng.Source) (*Fiber, error) {
 	for i := 0; i < nEvents; i++ {
 		durH := r.LogNormal(fp.FiberDipDurationMuHours, fp.FiberDipDurationSigma)
 		durSamples := int(math.Max(1, math.Round(durH*4)))
-		start := r.Intn(n)
-		end := start + durSamples
-		if end > n {
-			end = n
-		}
+		start, end := placeDip(r.Intn(n), durSamples, n)
 		d := Dip{Start: start, End: end, FiberLevel: true}
 		if r.Bernoulli(fp.FiberLossOfLightProb) {
 			d.Kind = DipLossOfLight

@@ -199,11 +199,7 @@ func Generate(p Params, n int, r *rng.Source, extraDips []Dip) (*Series, error) 
 	for i := 0; i < local; i++ {
 		durH := r.LogNormal(p.DipDurationMuHours, p.DipDurationSigma)
 		durSamples := int(math.Max(1, math.Round(durH*4))) // 4 samples/hour
-		start := r.Intn(n)
-		end := start + durSamples
-		if end > n {
-			end = n
-		}
+		start, end := placeDip(r.Intn(n), durSamples, n)
 		d := Dip{Start: start, End: end}
 		if r.Bernoulli(p.LossOfLightProb) {
 			d.Kind = DipLossOfLight
@@ -217,6 +213,23 @@ func Generate(p Params, n int, r *rng.Source, extraDips []Dip) (*Series, error) 
 	s.Dips = normalizeDips(dips, n)
 	applyDips(s)
 	return s, nil
+}
+
+// placeDip fits a drawn dip of durSamples samples starting at start
+// into the [0, n) horizon while preserving the drawn duration: a dip
+// that would overrun the end is shifted left instead of truncated.
+// Truncating biased the empirical dip-duration distribution short near
+// the horizon end (skewing the Figure 3b failure durations); shifting
+// keeps the log-normal duration law exact while changing same-seed
+// output only for dips that would have crossed the final samples.
+func placeDip(start, durSamples, n int) (s, e int) {
+	if durSamples > n {
+		durSamples = n
+	}
+	if start+durSamples > n {
+		start = n - durSamples
+	}
+	return start, start + durSamples
 }
 
 // normalizeDips clips dips to [0, n), drops empty ones, sorts by start,

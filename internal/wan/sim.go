@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/modulation"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/qot"
 	"repro/internal/rng"
 	"repro/internal/snr"
@@ -87,6 +88,11 @@ type SimConfig struct {
 	// RoundInterval), never the wall clock, so same-seed runs emit
 	// byte-identical metrics and traces.
 	Obs *obs.Obs
+	// Workers bounds how many fibers NewSimulation pre-generates
+	// concurrently and how many policies RunPolicies runs concurrently;
+	// <= 0 means runtime.GOMAXPROCS(0). Results, metrics, and traces
+	// are identical for every value (see internal/par).
+	Workers int
 }
 
 // applyDefaults fills zero values.
@@ -226,7 +232,6 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 	if nSamples < cfg.Rounds {
 		nSamples = cfg.Rounds
 	}
-	stride := nSamples / cfg.Rounds
 
 	// In length-aware mode, derive each fiber's baseline SNR from its
 	// physical length (edge Weight is distance in 100 km units).
@@ -238,35 +243,50 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 	}
 
 	sim := &Simulation{cfg: cfg}
-	sim.snrAt = make([][][]float64, cfg.Net.NumFibers)
-	for f := 0; f < cfg.Net.NumFibers; f++ {
-		fp := cfg.Fiber
-		if cfg.LengthAware {
-			lengthKm := fiberLenKm[f]
-			if lengthKm < cfg.QoT.SpanKm {
-				lengthKm = cfg.QoT.SpanKm
+
+	// Pre-split one source per fiber in fiber order, then fan the
+	// generation out: splitting before dispatch keeps the fleet
+	// byte-identical for every worker count (see internal/par).
+	rngs := make([]*rng.Source, cfg.Net.NumFibers)
+	for f := range rngs {
+		rngs[f] = root.Split()
+	}
+	var err error
+	sim.snrAt, err = par.Map(
+		par.Opts{Workers: cfg.Workers, Name: "wan/snr", Obs: cfg.Obs},
+		cfg.Net.NumFibers,
+		func(worker, f int) ([][]float64, error) {
+			fp := cfg.Fiber
+			if cfg.LengthAware {
+				lengthKm := fiberLenKm[f]
+				if lengthKm < cfg.QoT.SpanKm {
+					lengthKm = cfg.QoT.SpanKm
+				}
+				baseline, err := cfg.QoT.SNRdB(lengthKm)
+				if err != nil {
+					return nil, err
+				}
+				fp.BaselineMeandB = baseline
+				// Per-wavelength spread shrinks: channels of one fiber
+				// share the line system; only ripple differs.
+				fp.BaselineStddB = 0.8
 			}
-			baseline, err := cfg.QoT.SNRdB(lengthKm)
+			fiber, err := snr.GenerateFiber(fp, nSamples, rngs[f])
 			if err != nil {
 				return nil, err
 			}
-			fp.BaselineMeandB = baseline
-			// Per-wavelength spread shrinks: channels of one fiber
-			// share the line system; only ripple differs.
-			fp.BaselineStddB = 0.8
-		}
-		fiber, err := snr.GenerateFiber(fp, nSamples, root.Split())
-		if err != nil {
-			return nil, err
-		}
-		sim.snrAt[f] = make([][]float64, cfg.Net.Wavelengths)
-		for w, s := range fiber.Series {
-			row := make([]float64, cfg.Rounds)
-			for r := 0; r < cfg.Rounds; r++ {
-				row[r] = s.Samples[r*stride]
+			rows := make([][]float64, cfg.Net.Wavelengths)
+			for w, s := range fiber.Series {
+				row := make([]float64, cfg.Rounds)
+				for r := 0; r < cfg.Rounds; r++ {
+					row[r] = s.Samples[roundSampleIndex(r, cfg.Rounds, nSamples)]
+				}
+				rows[w] = row
 			}
-			sim.snrAt[f][w] = row
-		}
+			return rows, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	// Base traffic: DemandFraction of aggregate static capacity.
@@ -277,6 +297,18 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 	}
 	sim.demandsBase = demands
 	return sim, nil
+}
+
+// roundSampleIndex maps TE round r to the telemetry sample it observes,
+// spreading the rounds evenly over the whole generated horizon.
+//
+// The old integer stride (nSamples / rounds) never visited the final
+// nSamples % rounds samples, so SNR dips in that tail were silently
+// invisible to every policy. r*nSamples/rounds covers the full horizon
+// and reduces to the same indices whenever rounds divides nSamples
+// (the default cadence), keeping same-seed goldens unchanged there.
+func roundSampleIndex(r, rounds, nSamples int) int {
+	return r * nSamples / rounds
 }
 
 // FeasibleAt returns the feasible capacity of fiber f wavelength w at
@@ -291,6 +323,44 @@ func (s *Simulation) FeasibleAt(f, w, r int) modulation.Gbps {
 
 // Run executes the simulation under one policy.
 func (s *Simulation) Run(policy Policy) (*Result, error) {
+	return s.runPolicy(policy, s.cfg.Obs)
+}
+
+// RunPolicies executes the simulation under each policy against the
+// same pre-generated conditions, fanning out over cfg.Workers. Each
+// policy records into a private obs child merged back in policy order,
+// so results, metrics, and traces are byte-identical to running the
+// policies serially through Run (every trace event is stamped after an
+// explicit SetSimTime, making it independent of the clock state a
+// preceding policy would have left behind). The returned slice is in
+// policy order.
+func (s *Simulation) RunPolicies(policies []Policy) ([]*Result, error) {
+	children := make([]*obs.Obs, len(policies))
+	for i := range children {
+		children[i] = s.cfg.Obs.Child()
+	}
+	out := make([]*Result, len(policies))
+	err := par.Stream(
+		par.Opts{Workers: s.cfg.Workers, Name: "wan/policies", Obs: s.cfg.Obs},
+		len(policies),
+		func(worker, i int) (*Result, error) {
+			return s.runPolicy(policies[i], children[i])
+		},
+		func(i int, r *Result) error {
+			s.cfg.Obs.Merge(children[i])
+			out[i] = r
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runPolicy is Run with an explicit observability sink, so concurrent
+// policy runs can record into private children. It only reads the
+// shared pre-generated state (snrAt, demandsBase, cfg).
+func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 	cfg := s.cfg
 	net := cfg.Net
 	res := &Result{Policy: policy, Rounds: make([]RoundMetrics, 0, cfg.Rounds)}
@@ -315,10 +385,10 @@ func (s *Simulation) Run(policy Policy) (*Result, error) {
 
 	for r := 0; r < cfg.Rounds; r++ {
 		// The simulation clock is the trace timebase: round × interval.
-		cfg.Obs.SetSimTime(time.Duration(r) * cfg.RoundInterval)
-		endRound := cfg.Obs.Span("wan.round",
+		o.SetSimTime(time.Duration(r) * cfg.RoundInterval)
+		endRound := o.Span("wan.round",
 			obs.A("policy", policy.String()), obs.A("round", r))
-		endPhase := cfg.Obs.PhaseTimer(fmt.Sprintf("%s/round%03d", policy, r))
+		endPhase := o.PhaseTimer(fmt.Sprintf("%s/round%03d", policy, r))
 
 		demands := s.demandsBase
 		if cfg.DemandSigma > 0 {
@@ -355,7 +425,7 @@ func (s *Simulation) Run(policy Policy) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			s.recordSolver(policy, alloc.Solver)
+			s.recordSolver(o, policy, alloc.Solver)
 			metrics.ShippedGbps = alloc.Throughput
 			metrics.CapacityGbps = g.TotalCapacity()
 			copy(prevFlow, alloc.EdgeFlow)
@@ -370,7 +440,7 @@ func (s *Simulation) Run(policy Policy) (*Result, error) {
 				for w := 0; w < net.Wavelengths; w++ {
 					feas := s.FeasibleAt(f, w, r)
 					if feas < configured[f][w] {
-						s.emitOrder(policy, r, f, w, configured[f][w], feas, "forced-downgrade")
+						s.emitOrder(o, policy, r, f, w, configured[f][w], feas, "forced-downgrade")
 						configured[f][w] = feas
 						changes++
 					}
@@ -406,7 +476,7 @@ func (s *Simulation) Run(policy Policy) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			s.recordSolver(policy, alloc.Solver)
+			s.recordSolver(o, policy, alloc.Solver)
 			dec, err := aug.Translate(graph.FlowResult{
 				Value:    alloc.Throughput,
 				EdgeFlow: alloc.EdgeFlow,
@@ -420,7 +490,7 @@ func (s *Simulation) Run(policy Policy) (*Result, error) {
 				f := net.FiberOf[ch.Edge]
 				for w := 0; w < net.Wavelengths; w++ {
 					if feas := s.FeasibleAt(f, w, r); feas > configured[f][w] {
-						s.emitOrder(policy, r, f, w, configured[f][w], feas, "upgrade")
+						s.emitOrder(o, policy, r, f, w, configured[f][w], feas, "upgrade")
 						configured[f][w] = feas
 						changes++
 					}
@@ -467,7 +537,7 @@ func (s *Simulation) Run(policy Policy) (*Result, error) {
 		}
 		metrics.LinksDark = dark
 
-		s.recordRound(policy, metrics)
+		s.recordRound(o, policy, metrics)
 		endRound()
 		endPhase()
 		res.Rounds = append(res.Rounds, metrics)
@@ -478,11 +548,11 @@ func (s *Simulation) Run(policy Policy) (*Result, error) {
 // emitOrder records one wavelength reconfiguration on the trace. The
 // per-round count of wan.order events equals RoundMetrics.Changes, so
 // a trace consumer can reconstruct exactly the orders a run printed.
-func (s *Simulation) emitOrder(policy Policy, round, fiber, wavelength int, from, to modulation.Gbps, cause string) {
-	if s.cfg.Obs == nil {
+func (s *Simulation) emitOrder(o *obs.Obs, policy Policy, round, fiber, wavelength int, from, to modulation.Gbps, cause string) {
+	if o == nil {
 		return
 	}
-	s.cfg.Obs.Event("wan.order",
+	o.Event("wan.order",
 		obs.A("policy", policy.String()),
 		obs.A("round", round),
 		obs.A("fiber", fiber),
@@ -494,8 +564,7 @@ func (s *Simulation) emitOrder(policy Policy, round, fiber, wavelength int, from
 
 // recordRound publishes one round's metrics as per-policy gauges (the
 // latest round's values) and counters (run totals).
-func (s *Simulation) recordRound(policy Policy, m RoundMetrics) {
-	o := s.cfg.Obs
+func (s *Simulation) recordRound(o *obs.Obs, policy Policy, m RoundMetrics) {
 	if o == nil {
 		return
 	}
@@ -511,8 +580,7 @@ func (s *Simulation) recordRound(policy Policy, m RoundMetrics) {
 }
 
 // recordSolver publishes the flow-solver work behind one TE allocation.
-func (s *Simulation) recordSolver(policy Policy, st te.SolverStats) {
-	o := s.cfg.Obs
+func (s *Simulation) recordSolver(o *obs.Obs, policy Policy, st te.SolverStats) {
 	if o == nil {
 		return
 	}
