@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-ext vuln test test-short race race-short cover bench bench-json experiments experiments-quick examples clean
+.PHONY: all build lint lint-ext vuln test test-short race race-short cover bench bench-json experiments experiments-quick examples serve-demo clean
 
 all: build lint test
 
@@ -63,6 +63,18 @@ experiments:
 
 experiments-quick:
 	$(GO) run ./cmd/rwc-experiments -quick
+
+# Live operations plane demo: run the WAN simulation with the HTTP
+# telemetry server up and keep serving afterwards. While it runs (and
+# lingers), browse:
+#   http://localhost:6060/metrics      Prometheus exposition
+#   http://localhost:6060/runz         run info (seed, sim clock, counts)
+#   http://localhost:6060/traces       live SSE trace tail
+#   http://localhost:6060/debug/pprof  profiler
+# Ctrl-C to stop.
+serve-demo:
+	$(GO) run ./cmd/rwc-wansim -rounds 28 -policy all \
+		-serve localhost:6060 -log info -linger
 
 # Run all example programs.
 examples:

@@ -14,12 +14,16 @@ package repro
 import (
 	"fmt"
 	"math"
+	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/modulation"
+	"repro/internal/obs"
+	"repro/internal/obs/serve"
 	"repro/internal/rng"
 	"repro/internal/te"
 )
@@ -263,6 +267,58 @@ func BenchmarkFigure2aWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkScrapeUnderLoad measures a /metrics scrape of the live
+// operations plane while writer goroutines hammer the registry — the
+// cost a running simulation pays per Prometheus scrape. The handler is
+// driven directly (no network) so the number isolates snapshot +
+// rendering, which is the part internal/obs/serve owns.
+func BenchmarkScrapeUnderLoad(b *testing.B) {
+	o := obs.New("bench")
+	// A registry population comparable to a real wansim run: a few
+	// hundred labelled series plus a histogram.
+	for i := 0; i < 200; i++ {
+		o.Counter(fmt.Sprintf("bench_series_%03d_total", i), "scrape-load fixture series",
+			obs.Label{Key: "policy", Value: "dynamic"}).Inc()
+	}
+	hist := o.Histogram("bench_work", "scrape-load fixture histogram",
+		[]float64{16, 64, 256, 1024, 4096, 16384, 65536})
+	srv := serve.New(serve.Options{Obs: o, Tool: "bench"})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := o.Counter(fmt.Sprintf("bench_writer_%d_total", w), "scrape-load writer series")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					hist.Observe(float64(i % 70000))
+				}
+			}
+		}(w)
+	}
+
+	b.ResetTimer()
+	var scrapeBytes int
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			b.Fatalf("scrape failed: %d", rec.Code)
+		}
+		scrapeBytes = rec.Body.Len()
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(scrapeBytes), "scrape-bytes")
 }
 
 // --- Ablations ---

@@ -5,7 +5,8 @@
 //
 //	rwc-experiments [-quick] [-seed N] [-figure name] [-workers N]
 //	                [-metrics-out m.prom] [-trace-out t.jsonl]
-//	                [-manifest-out run.json]
+//	                [-manifest-out run.json] [-serve addr] [-pprof addr]
+//	                [-log level] [-linger]
 //
 // Figures: fig1, fig2a, fig2b, fig3a, fig3b, fig4, fig4c, fig5, fig6b,
 // fig7, fig8, theorem1, throughput, availability, sensitivity,
@@ -14,18 +15,26 @@
 // The -*-out flags enable the observability layer: per-figure spans and
 // counters (plus everything the underlying simulations record) land in
 // the metrics/trace files, and the manifest records the seed, options,
-// and per-figure wall durations.
+// and per-figure wall durations. -serve (and -pprof, the same server on
+// a second address) exposes the live operations plane — /metrics,
+// /healthz, /readyz, /runz, the SSE /traces tail, /debug/pprof —
+// without perturbing the run. -log enables structured stderr progress
+// logging; -linger keeps serving after the figures finish.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
+	"repro/internal/obs/serve"
 	"repro/internal/par"
 )
 
@@ -49,6 +58,10 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the per-figure trace as JSONL to this file")
 	manifestOut := flag.String("manifest-out", "", "write the run manifest as JSON to this file")
 	workers := flag.Int("workers", 0, "fan-out width for figures and the fleet/simulation work inside them (0 = GOMAXPROCS); results are identical for every value")
+	serveAddr := flag.String("serve", "", "serve the live operations plane (/metrics, /healthz, /readyz, /runz, /traces, /debug/pprof) on this address (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "serve the same operations plane on a second address")
+	logLevel := flag.String("log", "", "structured stderr logging level: debug, info, warn, error (empty = off)")
+	linger := flag.Bool("linger", false, "keep serving after the figures finish, until SIGINT/SIGTERM")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -61,8 +74,15 @@ func main() {
 	}
 	opts.Workers = *workers
 
+	level, err := olog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rwc-experiments: %v\n", err)
+		os.Exit(2)
+	}
+
 	var o *obs.Obs
-	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" ||
+		*serveAddr != "" || *pprofAddr != "" || *logLevel != "" {
 		o = obs.New("rwc-experiments")
 		start := time.Now()
 		o.Wall = obs.ClockFunc(func() time.Duration { return time.Since(start) })
@@ -70,7 +90,33 @@ func main() {
 		flag.VisitAll(func(fl *flag.Flag) {
 			o.Manifest.SetOption(fl.Name, fl.Value.String())
 		})
+		if *logLevel != "" {
+			o.Log = olog.New(os.Stderr, level).WithClock(o.Clock)
+		}
 		opts.Obs = o
+	}
+
+	// The live operations plane shares one helper with rwc-wansim
+	// (internal/obs/serve); serving reads snapshots only, so figures
+	// and artifacts are unaffected.
+	addrs := []string{}
+	if *serveAddr != "" {
+		addrs = append(addrs, *serveAddr)
+	}
+	if *pprofAddr != "" && *pprofAddr != *serveAddr {
+		addrs = append(addrs, *pprofAddr)
+	}
+	var servers []*serve.Server
+	for _, addr := range addrs {
+		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-experiments", Seed: opts.Seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rwc-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rwc-experiments: serving operations plane on http://%s\n", srv.Addr())
+		srv.SetReady(true)
+		servers = append(servers, srv)
 	}
 
 	// "all" runs these; fig1series (2000 long-form rows, meant for CSV
@@ -143,7 +189,7 @@ func main() {
 	for i := range children {
 		children[i] = o.Child()
 	}
-	err := par.Stream(
+	err = par.Stream(
 		par.Opts{Workers: *workers, Name: "experiments/figures", Obs: o},
 		len(selected),
 		func(worker, i int) (tabler, error) {
@@ -193,5 +239,14 @@ func main() {
 		if *manifestOut != "" {
 			write(*manifestOut, func(f *os.File) error { return o.Manifest.WriteJSON(f) })
 		}
+	}
+
+	// -linger keeps the operations plane up after the figures so
+	// scrapers can read the final state; artifacts are already written.
+	if *linger && len(servers) > 0 {
+		fmt.Fprintf(os.Stderr, "rwc-experiments: run complete; lingering until SIGINT/SIGTERM\n")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
 	}
 }

@@ -1,0 +1,124 @@
+// Command rwc-obsdiff compares two runs' observability artifacts:
+// Prometheus metric expositions (.prom) or run manifests (.json). It
+// reports new series, missing series, and value deltas beyond a
+// tolerance, and exits 0 when the artifacts agree — the tool the CI
+// live-serve smoke uses to prove a -serve run is byte-equivalent to a
+// non-serving run, and the tool to reach for when asking "what changed
+// between these two runs?".
+//
+// Usage:
+//
+//	rwc-obsdiff [-tol F] a.prom b.prom
+//	rwc-obsdiff [-tol F] a.json b.json
+//	rwc-obsdiff -check file...
+//
+// With -check, each file is parse-validated only (no comparison); any
+// unparsable file is an error. Manifests compare seeds, metric totals,
+// and alert summaries; wall-clock phase durations are excluded (two
+// runs always differ there).
+//
+// Exit status: 0 = artifacts agree (or all -check files parse),
+// 1 = differences found, 2 = usage or parse error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+func fatalf(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rwc-obsdiff: "+format+"\n", args...)
+	os.Exit(code)
+}
+
+// loadTotals parses one artifact into the flat key→value shape both
+// formats share. The format is chosen by extension: .prom is a
+// Prometheus text exposition, .json a run manifest.
+func loadTotals(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch ext := filepath.Ext(path); ext {
+	case ".prom", ".txt", ".metrics":
+		return obs.PromTotals(f)
+	case ".json":
+		return obs.ManifestTotals(f)
+	default:
+		return nil, fmt.Errorf("%s: unknown artifact extension %q (want .prom or .json)", path, ext)
+	}
+}
+
+func main() {
+	tol := flag.Float64("tol", 0, "absolute value tolerance below which samples compare equal")
+	check := flag.Bool("check", false, "parse-validate each file instead of comparing two")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rwc-obsdiff [-tol F] a.{prom,json} b.{prom,json}\n")
+		fmt.Fprintf(os.Stderr, "       rwc-obsdiff -check file...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+
+	if *check {
+		if len(args) == 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		for _, path := range args {
+			totals, err := loadTotals(path)
+			if err != nil {
+				fatalf(2, "%v", err)
+			}
+			fmt.Printf("%s: ok (%d series)\n", path, len(totals))
+		}
+		return
+	}
+
+	if len(args) != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if extA, extB := filepath.Ext(args[0]), filepath.Ext(args[1]); extA != extB {
+		fatalf(2, "cannot compare %s against %s (different artifact kinds)", args[0], args[1])
+	}
+	a, err := loadTotals(args[0])
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+	b, err := loadTotals(args[1])
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+
+	diffs := obs.DiffTotals(a, b, *tol)
+	if len(diffs) == 0 {
+		fmt.Printf("identical: %d series agree (tol %g)\n", len(a), *tol)
+		return
+	}
+	for _, d := range diffs {
+		fmt.Println(d)
+	}
+	sides := func() (onlyA, onlyB, changed int) {
+		for _, d := range diffs {
+			switch {
+			case d.InA && !d.InB:
+				onlyA++
+			case !d.InA && d.InB:
+				onlyB++
+			default:
+				changed++
+			}
+		}
+		return
+	}
+	onlyA, onlyB, changed := sides()
+	fmt.Printf("%d difference(s): %d only in %s, %d only in %s, %d value delta(s)\n",
+		len(diffs), onlyA, args[0], onlyB, args[1], changed)
+	os.Exit(1)
+}

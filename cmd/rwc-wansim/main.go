@@ -8,26 +8,41 @@
 //	rwc-wansim [-topology abilene|us|random] [-rounds N] [-policy p]
 //	           [-demand f] [-wavelengths N] [-seed N] [-hitless]
 //	           [-workers N] [-metrics-out m.prom] [-trace-out t.jsonl]
-//	           [-manifest-out run.json] [-pprof addr]
+//	           [-manifest-out run.json] [-serve addr] [-pprof addr]
+//	           [-log level] [-alerts] [-linger]
 //
 // The three -*-out flags enable the observability layer: -metrics-out
 // writes the final metric registry in Prometheus text format,
 // -trace-out the decision trace as JSONL (timestamps are simulation
 // time, so same-seed runs are byte-identical), and -manifest-out a run
 // manifest with the seed, options, per-round wall durations, and
-// metric totals. -pprof serves net/http/pprof on the given address
-// (e.g. "localhost:6060") for the duration of the run.
+// metric totals.
+//
+// The live operations plane rides the same bundle: -serve exposes
+// /metrics, /healthz, /readyz, /runz, the SSE /traces tail, and
+// /debug/pprof on the given address (e.g. "localhost:6060") without
+// perturbing the run — artifacts stay byte-identical with or without
+// it. -pprof is the same server on a second address, kept for
+// compatibility. -log level enables structured key=value progress
+// logging to stderr (debug, info, warn, error). -alerts (on by
+// default) evaluates the built-in SNR-dip / flap-rate / solver-work
+// rules each round whenever observability is enabled. -linger keeps
+// the process (and its server) alive after the run finishes until
+// interrupted, so scrapers can collect the final state.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/alert"
+	"repro/internal/obs/olog"
+	"repro/internal/obs/serve"
 	"repro/internal/wan"
 )
 
@@ -103,7 +118,11 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file")
 	traceOut := flag.String("trace-out", "", "write the decision trace as JSONL to this file")
 	manifestOut := flag.String("manifest-out", "", "write the run manifest as JSON to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	serveAddr := flag.String("serve", "", "serve the live operations plane (/metrics, /healthz, /readyz, /runz, /traces, /debug/pprof) on this address (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "serve the same operations plane on a second address (kept for compatibility)")
+	logLevel := flag.String("log", "", "structured stderr logging level: debug, info, warn, error (empty = off)")
+	alertsOn := flag.Bool("alerts", true, "evaluate the built-in alert rules each round (requires observability to be enabled)")
+	linger := flag.Bool("linger", false, "keep serving after the run finishes, until SIGINT/SIGTERM")
 	flag.Parse()
 
 	// Validate every enumerated flag through one path before doing any
@@ -116,20 +135,18 @@ func main() {
 	if err != nil {
 		usageError(err)
 	}
-
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "rwc-wansim: pprof: %v\n", err)
-			}
-		}()
+	level, err := olog.ParseLevel(*logLevel)
+	if err != nil {
+		usageError(err)
 	}
 
 	// The observability bundle: simulation-clocked metrics + trace, and
 	// a wall clock injected here (cmd/ is outside the nowalltime rule)
-	// for manifest phase durations only.
+	// for manifest phase durations only. Serving and logging also need
+	// the bundle, so they enable it too.
 	var o *obs.Obs
-	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" ||
+		*serveAddr != "" || *pprofAddr != "" || *logLevel != "" {
 		o = obs.New("rwc-wansim")
 		start := time.Now()
 		o.Wall = obs.ClockFunc(func() time.Duration { return time.Since(start) })
@@ -137,6 +154,31 @@ func main() {
 		flag.VisitAll(func(fl *flag.Flag) {
 			o.Manifest.SetOption(fl.Name, fl.Value.String())
 		})
+		if *logLevel != "" {
+			o.Log = olog.New(os.Stderr, level).WithClock(o.Clock)
+		}
+	}
+
+	// The live operations plane: -serve and -pprof share one helper (and
+	// one mux shape), replacing the old ad-hoc pprof-only listener.
+	// Serving is read-only over snapshots, so artifacts stay
+	// byte-identical with or without it.
+	addrs := []string{}
+	if *serveAddr != "" {
+		addrs = append(addrs, *serveAddr)
+	}
+	if *pprofAddr != "" && *pprofAddr != *serveAddr {
+		addrs = append(addrs, *pprofAddr)
+	}
+	var servers []*serve.Server
+	for _, addr := range addrs {
+		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-wansim", Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rwc-wansim: serving operations plane on http://%s\n", srv.Addr())
+		servers = append(servers, srv)
 	}
 
 	cfg := wan.SimConfig{
@@ -153,9 +195,15 @@ func main() {
 		cfg.ChangeDowntime = 35 * time.Millisecond
 	}
 	cfg.LengthAware = *lengthAware
+	if *alertsOn && o != nil {
+		cfg.Alerts = alert.DefaultWANRules()
+	}
 	sim, err := wan.NewSimulation(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	for _, srv := range servers {
+		srv.SetReady(true)
 	}
 
 	fmt.Printf("# topology=%s nodes=%d fibers=%d wavelengths=%d rounds=%d demand=%.2fx seed=%d\n",
@@ -197,5 +245,15 @@ func main() {
 		if *manifestOut != "" {
 			writeOutput(*manifestOut, func(f *os.File) error { return o.Manifest.WriteJSON(f) })
 		}
+	}
+
+	// -linger keeps the operations plane up after the run so scrapers
+	// and the CI smoke can read the final state; artifacts above are
+	// already on disk at this point.
+	if *linger && len(servers) > 0 {
+		fmt.Fprintf(os.Stderr, "rwc-wansim: run complete; lingering until SIGINT/SIGTERM\n")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
 	}
 }

@@ -133,6 +133,11 @@ func (c *Controller) emitOrder(o Order) {
 		obs.A("kind", o.Kind.String()),
 		obs.A("from_gbps", float64(o.From)),
 		obs.A("to_gbps", float64(o.To)))
+	c.cfg.Obs.Logger().Debug("reconfiguration order",
+		"edge", int(o.Edge),
+		"kind", o.Kind.String(),
+		"from_gbps", float64(o.From),
+		"to_gbps", float64(o.To))
 }
 
 // linkState tracks one directed edge (= one wavelength, the paper's
@@ -424,6 +429,10 @@ func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
 		ls.lastFlow = dec.EdgeFlow[e.ID]
 		c.g.SetCapacity(e.ID, float64(ls.configured))
 	}
+	c.cfg.Obs.Logger().Debug("control step complete",
+		"orders", len(plan.Orders),
+		"throughput_gbps", dec.Value,
+		"est_disrupted_gbps_sec", plan.EstimatedDisruption)
 	return plan, nil
 }
 

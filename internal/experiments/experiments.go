@@ -62,9 +62,11 @@ func (o Options) span(figure string) func() {
 		obs.L("figure", figure)).Inc()
 	endSpan := o.Obs.Span("experiments.figure", obs.A("figure", figure))
 	endPhase := o.Obs.PhaseTimer("figure/" + figure)
+	o.Obs.Logger().Info("figure start", "figure", figure)
 	return func() {
 		endSpan()
 		endPhase()
+		o.Obs.Logger().Info("figure done", "figure", figure)
 	}
 }
 

@@ -29,6 +29,19 @@ func TestNoWallTimeRejectsInstrumentedWan(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/wan")
 }
 
+func TestNoWallTimeRejectsObsAlert(t *testing.T) {
+	// internal/obs coverage extends to subpackages: the alert engine
+	// must stamp fires with simulation time, never the wall clock.
+	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/obs/alert")
+}
+
+func TestNoWallTimeObsServeRequiresNolint(t *testing.T) {
+	// The HTTP serving layer is also covered, but its live-client
+	// goroutines may read wall time behind a same-line, justified
+	// //nolint:nowalltime; unsuppressed reads are still flagged.
+	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/obs/serve")
+}
+
 func TestNoWallTimeAllowsTelemetry(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/telemetry")
 }

@@ -21,6 +21,11 @@ var wallClockForbidden = []string{
 	"internal/graph",
 	"internal/controller",
 	"internal/wan",
+	// internal/obs matches the whole observability tree — obs itself
+	// plus obs/olog, obs/alert, and obs/serve — via pathHasSegments.
+	// Trace timestamps, log stamps, and alert fire times must all be
+	// simulation time; the serving layer's live-client goroutines
+	// (SSE heartbeats) opt out per line with a justified //nolint.
 	"internal/obs",
 }
 

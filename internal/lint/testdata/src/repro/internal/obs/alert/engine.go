@@ -1,0 +1,34 @@
+// Fixture: the alert engine lives under internal/obs, so the
+// nowalltime rule covers it via segment matching ("internal/obs"
+// matches repro/internal/obs/alert and every other subpackage).
+// Alerts must stamp fires with simulation time — a wall-clock read
+// here would make same-seed runs disagree on when an alert fired.
+package alert
+
+import "time"
+
+// clock is the injected sim-clock shape alerts read from.
+type clock interface {
+	Now() time.Duration
+}
+
+// fire records an alert against the injected clock: clean.
+func fire(c clock) time.Duration {
+	return c.Now()
+}
+
+// badFire stamps the alert with the wall clock.
+func badFire() time.Time {
+	return time.Now() // want `time.Now in simulation package repro/internal/obs/alert`
+}
+
+// badSustain waits out a sustain window on the host scheduler instead
+// of counting simulation rounds.
+func badSustain(window time.Duration) {
+	time.Sleep(window) // want `time.Sleep in simulation package`
+}
+
+// badDebounce schedules a resolve against the wall clock.
+func badDebounce(quiet time.Duration) <-chan time.Time {
+	return time.After(quiet) // want `time.After in simulation package`
+}

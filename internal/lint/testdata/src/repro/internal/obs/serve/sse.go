@@ -1,0 +1,24 @@
+// Fixture: the HTTP serving layer also lives under internal/obs, so
+// nowalltime covers it — but its goroutines talk to live HTTP
+// clients, where wall time is legitimately the point (SSE heartbeats,
+// shutdown deadlines). Those uses carry a same-line //nolint with a
+// justification; anything without one is flagged.
+package serve
+
+import "time"
+
+// heartbeat paces SSE keep-alives for a live client: wall time is
+// correct here and the suppression says why.
+func heartbeat(interval time.Duration) *time.Ticker {
+	return time.NewTicker(interval) //nolint:nowalltime // SSE keep-alive for a live HTTP client; no simulation state involved
+}
+
+// badDeadline reads the wall clock without a justification.
+func badDeadline() time.Time {
+	return time.Now() // want `time.Now in simulation package repro/internal/obs/serve`
+}
+
+// badRetry schedules a reconnect timer without a justification.
+func badRetry(backoff time.Duration) *time.Timer {
+	return time.NewTimer(backoff) // want `time.NewTimer in simulation package`
+}

@@ -1,0 +1,55 @@
+package alert
+
+// DefaultWANRules is the built-in rule set for the WAN simulation,
+// mapping the paper's operational signals to alert predicates:
+//
+//   - snr_dip: §2.3 observes that real fiber SNR dips 3+ dB below its
+//     typical level during weather events, which is exactly when
+//     dynamic capacity policies must step modulation down. The rule
+//     watches the per-policy minimum-SNR gauge and fires whenever it
+//     sits ≥ 3 dB below its running maximum.
+//   - capacity_flap_rate: frequent capacity reconfiguration is the
+//     operational cost of running links dynamically (§3 "capacity may
+//     change too often"). The rule fires when more than a quarter of
+//     links change capacity per round for two consecutive rounds — a
+//     sustained churn signal, not a single reconvergence blip.
+//   - te_solver_work_p99: the TE solver must keep up with the round
+//     cadence. Wall latency is nondeterministic, so the simulation
+//     records deterministic solver work units (augmenting-path count)
+//     in the wan_te_solve_work histogram; the rule fires when the p99
+//     exceeds a budget that, at measured per-unit cost, would blow the
+//     round deadline.
+func DefaultWANRules() []Rule {
+	return []Rule{
+		{
+			Name:      "snr_dip",
+			Metric:    "wan_snr_min_db",
+			Source:    SourceDipFromMax,
+			Op:        OpAbove,
+			Threshold: 3,
+			Sustain:   1,
+			Severity:  SeverityCritical,
+			Help:      "Minimum link SNR is ≥3 dB below its running maximum (§2.3 weather-event dip); expect modulation step-down.",
+		},
+		{
+			Name:      "capacity_flap_rate",
+			Metric:    "wan_flap_rate",
+			Source:    SourceValue,
+			Op:        OpAbove,
+			Threshold: 0.25,
+			Sustain:   2,
+			Severity:  SeverityWarning,
+			Help:      "More than 25% of links changed capacity per round for 2+ consecutive rounds; sustained churn destabilizes TE.",
+		},
+		{
+			Name:      "te_solver_work_p99",
+			Metric:    "wan_te_solve_work",
+			Source:    SourceHistP99,
+			Op:        OpAbove,
+			Threshold: 20000,
+			Sustain:   1,
+			Severity:  SeverityWarning,
+			Help:      "p99 TE solver work units per solve exceed the round budget; solver may not keep up with the reconfiguration cadence.",
+		},
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// This file implements artifact diffing for cmd/rwc-obsdiff: two runs'
+// metric expositions (or manifests, flattened to comparable key→value
+// maps) are compared series by series, reporting new series, missing
+// series, and value deltas beyond a tolerance. The CI live-serve smoke
+// diffs a with-serve run against a without-serve run and asserts the
+// diff is empty — the executable form of the "serving is read-only"
+// guarantee.
+
+// DiffEntry is one difference between two key→value maps.
+type DiffEntry struct {
+	Key string
+	// InA/InB report presence on each side.
+	InA, InB bool
+	// A/B are the values (meaningful when the side is present).
+	A, B float64
+}
+
+// String renders the entry in the rwc-obsdiff output shape.
+func (d DiffEntry) String() string {
+	switch {
+	case d.InA && !d.InB:
+		return fmt.Sprintf("- only in a: %s = %s", d.Key, formatValue(d.A))
+	case !d.InA && d.InB:
+		return fmt.Sprintf("+ only in b: %s = %s", d.Key, formatValue(d.B))
+	default:
+		return fmt.Sprintf("~ %s: a=%s b=%s (delta %s)",
+			d.Key, formatValue(d.A), formatValue(d.B), formatValue(d.B-d.A))
+	}
+}
+
+// DiffTotals compares two key→value maps and returns every difference
+// in sorted key order: keys present on one side only, and keys whose
+// values differ by more than tol (absolute). NaN values compare equal
+// to NaN and different from everything else.
+func DiffTotals(a, b map[string]float64, tol float64) []DiffEntry {
+	keys := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	var out []DiffEntry
+	for _, k := range sorted {
+		av, inA := a[k]
+		bv, inB := b[k]
+		if inA && inB && valuesMatch(av, bv, tol) {
+			continue
+		}
+		out = append(out, DiffEntry{Key: k, InA: inA, InB: inB, A: av, B: bv})
+	}
+	return out
+}
+
+// valuesMatch reports whether two sample values agree within tol.
+func valuesMatch(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b //nolint:nofloateq // infinities compare exactly by definition; tolerance is meaningless here
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// ManifestTotals flattens a run-manifest JSON document into the same
+// key→value shape PromTotals produces, so manifests diff through the
+// same DiffTotals path: the seed, every metric total (prefixed
+// "metric:"), and every alert summary record (prefixed
+// "alert:<rule>{<series>}:"). Wall-clock phases are deliberately
+// excluded — they differ between any two runs by nature.
+func ManifestTotals(r io.Reader) (map[string]float64, error) {
+	var m struct {
+		Tool         string             `json:"tool"`
+		Seed         uint64             `json:"seed"`
+		Alerts       []AlertRecord      `json:"alerts"`
+		MetricTotals map[string]float64 `json:"metric_totals"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	out := make(map[string]float64, len(m.MetricTotals)+5*len(m.Alerts)+1)
+	out["seed"] = float64(m.Seed)
+	for k, v := range m.MetricTotals {
+		out["metric:"+k] = v
+	}
+	for _, a := range m.Alerts {
+		p := fmt.Sprintf("alert:%s{%s}:", a.Rule, a.Series)
+		out[p+"fires"] = float64(a.Fires)
+		out[p+"resolves"] = float64(a.Resolves)
+		out[p+"first_fire_ns"] = float64(a.FirstFireNs)
+		out[p+"last_fire_ns"] = float64(a.LastFireNs)
+		active := 0.0
+		if a.ActiveAtEnd {
+			active = 1
+		}
+		out[p+"active_at_end"] = active
+	}
+	return out, nil
+}

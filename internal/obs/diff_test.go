@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDiffTotalsEmptyOnEqual(t *testing.T) {
+	a := map[string]float64{"x": 1, "y{l=\"v\"}": 2.5}
+	if d := DiffTotals(a, map[string]float64{"y{l=\"v\"}": 2.5, "x": 1}, 0); len(d) != 0 {
+		t.Fatalf("equal maps diffed: %v", d)
+	}
+}
+
+func TestDiffTotalsReportsAllThreeKinds(t *testing.T) {
+	a := map[string]float64{"only_a": 1, "both_same": 5, "both_diff": 10}
+	b := map[string]float64{"only_b": 2, "both_same": 5, "both_diff": 11}
+	d := DiffTotals(a, b, 0)
+	if len(d) != 3 {
+		t.Fatalf("want 3 entries, got %d: %v", len(d), d)
+	}
+	// Sorted key order: both_diff, only_a, only_b.
+	if d[0].Key != "both_diff" || !d[0].InA || !d[0].InB || d[0].A != 10 || d[0].B != 11 {
+		t.Fatalf("entry 0 = %+v", d[0])
+	}
+	if d[1].Key != "only_a" || !d[1].InA || d[1].InB {
+		t.Fatalf("entry 1 = %+v", d[1])
+	}
+	if d[2].Key != "only_b" || d[2].InA || !d[2].InB {
+		t.Fatalf("entry 2 = %+v", d[2])
+	}
+	if !strings.HasPrefix(d[1].String(), "- only in a: only_a") ||
+		!strings.HasPrefix(d[2].String(), "+ only in b: only_b") ||
+		!strings.HasPrefix(d[0].String(), "~ both_diff: a=10 b=11") {
+		t.Fatalf("render wrong: %q / %q / %q", d[0], d[1], d[2])
+	}
+}
+
+func TestDiffTotalsTolerance(t *testing.T) {
+	a := map[string]float64{"v": 100}
+	b := map[string]float64{"v": 100.4}
+	if d := DiffTotals(a, b, 0.5); len(d) != 0 {
+		t.Fatalf("within tolerance but diffed: %v", d)
+	}
+	if d := DiffTotals(a, b, 0.1); len(d) != 1 {
+		t.Fatalf("beyond tolerance but clean: %v", d)
+	}
+}
+
+func TestDiffTotalsSpecialValues(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	if d := DiffTotals(map[string]float64{"n": nan}, map[string]float64{"n": nan}, 0); len(d) != 0 {
+		t.Fatalf("NaN==NaN should hold for diffing: %v", d)
+	}
+	if d := DiffTotals(map[string]float64{"n": nan}, map[string]float64{"n": 1}, 1e18); len(d) != 1 {
+		t.Fatal("NaN vs number must diff regardless of tolerance")
+	}
+	if d := DiffTotals(map[string]float64{"i": inf}, map[string]float64{"i": inf}, 0); len(d) != 0 {
+		t.Fatalf("+Inf==+Inf should hold: %v", d)
+	}
+	if d := DiffTotals(map[string]float64{"i": inf}, map[string]float64{"i": -inf}, 1e18); len(d) != 1 {
+		t.Fatal("+Inf vs -Inf must diff")
+	}
+}
+
+func TestManifestTotalsFlattens(t *testing.T) {
+	doc := `{
+	  "tool": "rwc-wansim",
+	  "go_version": "go1.22.0",
+	  "seed": 2017,
+	  "phases": [{"name": "p", "wall_ns": 123}],
+	  "alerts": [
+	    {"rule": "snr_dip", "series": "policy=\"dynamic\"", "severity": "critical",
+	     "fires": 1, "resolves": 1, "first_fire_ns": 151200000000000, "last_fire_ns": 151200000000000}
+	  ],
+	  "metric_totals": {"wan_rounds_total{policy=\"dynamic\"}": 12}
+	}`
+	got, err := ManifestTotals(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"seed": 2017,
+		`metric:wan_rounds_total{policy="dynamic"}`:     12,
+		`alert:snr_dip{policy="dynamic"}:fires`:         1,
+		`alert:snr_dip{policy="dynamic"}:resolves`:      1,
+		`alert:snr_dip{policy="dynamic"}:first_fire_ns`: 151200000000000,
+		`alert:snr_dip{policy="dynamic"}:last_fire_ns`:  151200000000000,
+		`alert:snr_dip{policy="dynamic"}:active_at_end`: 0,
+	}
+	if d := DiffTotals(got, want, 0); len(d) != 0 {
+		t.Fatalf("manifest flattening wrong: %v", d)
+	}
+	// Wall-clock phases must not appear: two otherwise identical runs
+	// always differ there.
+	for k := range got {
+		if strings.Contains(k, "phase") || strings.Contains(k, "wall") {
+			t.Fatalf("wall-clock key %s leaked into manifest totals", k)
+		}
+	}
+}
+
+func TestManifestTotalsRejectsGarbage(t *testing.T) {
+	if _, err := ManifestTotals(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected error for non-JSON manifest")
+	}
+}

@@ -22,6 +22,28 @@ type PhaseRecord struct {
 	WallNs int64 `json:"wall_ns"`
 }
 
+// AlertRecord summarizes one alert series at the end of a run (see
+// internal/obs/alert). Times are *simulation* time, so records are
+// deterministic for a given seed.
+type AlertRecord struct {
+	// Rule is the alert rule name (e.g. "snr_dip").
+	Rule string `json:"rule"`
+	// Series is the rendered label set of the metric series the rule
+	// matched ("" for the unlabeled series).
+	Series string `json:"series,omitempty"`
+	// Severity is the rule's severity ("warning" or "critical").
+	Severity string `json:"severity,omitempty"`
+	// Fires and Resolves count state transitions over the run.
+	Fires    int `json:"fires"`
+	Resolves int `json:"resolves"`
+	// FirstFireNs / LastFireNs are simulation-time stamps of the first
+	// and last fire transitions.
+	FirstFireNs int64 `json:"first_fire_ns"`
+	LastFireNs  int64 `json:"last_fire_ns"`
+	// ActiveAtEnd marks alerts still firing when the run finished.
+	ActiveAtEnd bool `json:"active_at_end,omitempty"`
+}
+
 // Manifest accumulates the run record. All mutating methods are safe
 // on a nil receiver and for concurrent use.
 type Manifest struct {
@@ -41,6 +63,8 @@ type manifestJSON struct {
 	Options map[string]string `json:"options,omitempty"`
 	// Phases lists timed phases in completion order.
 	Phases []PhaseRecord `json:"phases,omitempty"`
+	// Alerts is the end-of-run alert summary in completion order.
+	Alerts []AlertRecord `json:"alerts,omitempty"`
 	// MetricTotals is the final registry snapshot, "name{labels}" → value.
 	MetricTotals map[string]float64 `json:"metric_totals,omitempty"`
 }
@@ -91,6 +115,26 @@ func (m *Manifest) Phases() []PhaseRecord {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]PhaseRecord(nil), m.m.Phases...)
+}
+
+// AddAlert appends one alert summary record.
+func (m *Manifest) AddAlert(rec AlertRecord) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.m.Alerts = append(m.m.Alerts, rec)
+	m.mu.Unlock()
+}
+
+// Alerts returns a copy of the recorded alert summaries.
+func (m *Manifest) Alerts() []AlertRecord {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]AlertRecord(nil), m.m.Alerts...)
 }
 
 // SetMetricTotals stores the final metric snapshot.

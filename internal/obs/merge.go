@@ -29,7 +29,10 @@ func (o *Obs) Child() *Obs {
 	}
 	clock := NewSimClock()
 	clock.Set(o.Clock.Now())
-	child := &Obs{Clock: clock, Wall: o.Wall}
+	// The child logger shares the parent's stream and level but stamps
+	// lines from the child's own clock; the stream itself is exempt
+	// from byte-identity (lines interleave in completion order).
+	child := &Obs{Clock: clock, Wall: o.Wall, Log: o.Log.WithClock(clock)}
 	if o.Metrics != nil {
 		child.Metrics = NewRegistry()
 	}
@@ -54,6 +57,7 @@ func (o *Obs) Merge(child *Obs) {
 	o.Metrics.Merge(child.Metrics)
 	o.Trace.Merge(child.Trace)
 	o.Manifest.MergePhases(child.Manifest)
+	o.Manifest.MergeAlerts(child.Manifest)
 	if o.Clock != nil && child.Clock != nil {
 		o.Clock.Set(child.Clock.Now())
 	}
@@ -154,18 +158,33 @@ func (t *Tracer) Merge(src *Tracer) {
 		}
 		e.Seq = len(t.events) + 1
 		t.events = append(t.events, e)
+		// Live subscribers of the parent see fan-out work when it merges
+		// back (task order), matching what the JSONL artifact records.
+		t.publishLocked(e)
 	}
 	t.nextSpan += srcSpans
 }
 
 // MergePhases appends src's timed phases to m in their recorded order.
-// Only phases transfer: tool identity, seed, and options belong to the
-// parent run.
+// Only phases and alerts transfer (see MergeAlerts): tool identity,
+// seed, and options belong to the parent run.
 func (m *Manifest) MergePhases(src *Manifest) {
 	if m == nil || src == nil {
 		return
 	}
 	for _, p := range src.Phases() {
 		m.AddPhase(p.Name, time.Duration(p.WallNs))
+	}
+}
+
+// MergeAlerts appends src's alert summaries to m in their recorded
+// order (the fan-out coordinator merges children in task order, so the
+// combined summary is deterministic).
+func (m *Manifest) MergeAlerts(src *Manifest) {
+	if m == nil || src == nil {
+		return
+	}
+	for _, a := range src.Alerts() {
+		m.AddAlert(a)
 	}
 }

@@ -89,8 +89,9 @@ func labelSignature(labels []Label) string {
 			b.WriteByte(',')
 		}
 		b.WriteString(l.Key)
-		b.WriteString("=")
-		b.WriteString(strconv.Quote(l.Value))
+		b.WriteString("=\"")
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
 	}
 	return b.String()
 }
@@ -344,7 +345,34 @@ func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// promLabels renders {k="v",…} or "" for the empty set.
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition spec: backslash, double quote, and line feed become \\,
+// \", and \n. Every other byte passes through verbatim (the spec
+// allows arbitrary UTF-8), so hostile values can never break out of
+// the quoted position or smuggle extra series into a scrape.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders {k="v",…} or "" for the empty set, with values
+// escaped per the exposition spec (see escapeLabelValue).
 func promLabels(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
@@ -356,8 +384,9 @@ func promLabels(labels []Label) string {
 			b.WriteByte(',')
 		}
 		b.WriteString(l.Key)
-		b.WriteByte('=')
-		b.WriteString(strconv.Quote(l.Value))
+		b.WriteString("=\"")
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()

@@ -1,0 +1,121 @@
+package olog
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type fixedClock time.Duration
+
+func (c fixedClock) Now() time.Duration { return time.Duration(c) }
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("a")
+	l.Info("b", "k", 1)
+	l.Warn("c")
+	l.Error("d")
+	if l.With("k", "v") != nil {
+		t.Fatal("With on nil logger should stay nil")
+	}
+	if l.WithClock(fixedClock(0)) != nil {
+		t.Fatal("WithClock on nil logger should stay nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger must not report enabled")
+	}
+}
+
+func TestLevelsFilter(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	l.Debug("hidden")
+	l.Info("shown")
+	l.Warn("also")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("debug leaked through info level: %q", out)
+	}
+	if !strings.Contains(out, "level=info msg=shown") || !strings.Contains(out, "level=warn msg=also") {
+		t.Fatalf("missing expected lines: %q", out)
+	}
+	if New(&buf, LevelOff).Enabled(LevelError) {
+		t.Fatal("LevelOff must disable even error records")
+	}
+}
+
+func TestLineFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelDebug).WithClock(fixedClock(90 * time.Minute))
+	l.Info("round complete", "policy", "dynamic", "round", 3, "shipped", 123.5, "quoted", `a "b" c`, "empty", "")
+	got := buf.String()
+	want := `level=info sim=1h30m0s msg="round complete" policy=dynamic round=3 shipped=123.5 quoted="a \"b\" c" empty=""` + "\n"
+	if got != want {
+		t.Fatalf("line mismatch:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestWithBindsContext(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelDebug).With("tool", "wansim").With("policy", "dynamic")
+	l.Debug("x", "round", 1)
+	want := "level=debug msg=x tool=wansim policy=dynamic round=1\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestDanglingKeyIsVisible(t *testing.T) {
+	var buf bytes.Buffer
+	New(&buf, LevelDebug).Info("m", "orphan")
+	if !strings.Contains(buf.String(), "orphan=(missing)") {
+		t.Fatalf("dangling key should render explicitly: %q", buf.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "off": LevelOff, "": LevelOff,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel should reject unknown levels")
+	}
+}
+
+// TestConcurrentLinesStayAtomic hammers one logger from many
+// goroutines and asserts no line is torn (every line parses back to
+// the fixed shape).
+func TestConcurrentLinesStayAtomic(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelDebug)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sub := l.With("worker", g)
+			for i := 0; i < 200; i++ {
+				sub.Info("tick", "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*200)
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "level=info msg=tick worker=") || !strings.Contains(ln, " i=") {
+			t.Fatalf("torn or malformed line: %q", ln)
+		}
+	}
+}

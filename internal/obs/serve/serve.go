@@ -1,0 +1,222 @@
+// Package serve is the live half of the operations plane: an HTTP
+// server exposing a running simulation's observability bundle —
+// Prometheus metrics, health/readiness, run info, a live SSE trace
+// tail, and net/http/pprof — without perturbing the run.
+//
+// The cardinal rule is that serving is read-only over snapshots: every
+// endpoint reads Registry.Snapshot(), Tracer.Subscribe() backlogs, or
+// immutable run info, and server-side bookkeeping (scrape counts, SSE
+// client counts, dropped-event totals) lives in a *server-owned*
+// registry that is rendered on /metrics but never written into run
+// artifacts. A run with -serve therefore produces byte-identical
+// metrics/trace/manifest files to the same run without it — the CI
+// live-serve smoke asserts exactly this with cmp(1).
+//
+// This package sits under internal/obs and is therefore subject to the
+// nowalltime lint rule. The few wall-clock reads HTTP serving
+// legitimately needs (the SSE heartbeat ticker) are individually
+// suppressed with justifications; nothing here feeds wall time back
+// into the simulation or its artifacts.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Obs is the running simulation's observability bundle. Individual
+	// nil sinks degrade per endpoint (/metrics without a registry and
+	// /traces without a tracer answer 404).
+	Obs *obs.Obs
+	// Tool and Seed identify the run on /runz.
+	Tool string
+	Seed uint64
+	// SSEBuffer is the per-client event channel depth (default 256).
+	// When a client cannot keep up, the newest events are dropped for
+	// that client — never buffered unboundedly, never blocking the
+	// simulation — and counted in obs_trace_dropped_total.
+	SSEBuffer int
+	// Heartbeat is the SSE keep-alive comment interval (default 15s).
+	Heartbeat time.Duration
+}
+
+// Server is the operations-plane HTTP server. Construct with New (for
+// tests, via Handler) or Start (to actually listen).
+type Server struct {
+	opts       Options
+	mux        *http.ServeMux
+	reg        *obs.Registry // server-owned: scrape/SSE bookkeeping, never in artifacts
+	scrapes    *obs.Counter
+	ready      atomic.Bool
+	sseClients atomic.Int64
+	ln         net.Listener
+	srv        *http.Server
+}
+
+// New builds a server without binding a listener.
+func New(opts Options) *Server {
+	if opts.SSEBuffer <= 0 {
+		opts.SSEBuffer = 256
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 15 * time.Second
+	}
+	s := &Server{opts: opts, mux: http.NewServeMux(), reg: obs.NewRegistry()}
+	s.scrapes = s.reg.Counter("obs_scrapes_total", "Scrapes served on /metrics.")
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/runz", s.handleRunz)
+	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Start builds a server and binds it to addr, serving in a background
+// goroutine. The returned server's Addr reports the bound address
+// (useful with ":0").
+func Start(addr string, opts Options) (*Server, error) {
+	s := New(opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		// ErrServerClosed is the normal Close() path; anything else has
+		// already been reported to the client side.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Handler exposes the route mux for httptest-based tests.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry is the server-owned bookkeeping registry (scrapes, SSE
+// clients, drops). Exposed for tests; run artifacts never include it.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Addr reports the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// SetReady flips the /readyz state. cmd/ marks ready once flags are
+// validated and the simulation is constructed.
+func (s *Server) SetReady(ready bool) {
+	if s == nil {
+		return
+	}
+	s.ready.Store(ready)
+}
+
+// Close stops the listener and any in-flight handlers (SSE streams see
+// their connections reset). Safe before Start and on nil.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// handleMetrics renders the application registry followed by the
+// server-owned registry in one exposition. Family names are disjoint
+// by construction (server metrics use the obs_ prefix), so the
+// concatenation is a valid scrape.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	appReg := s.appRegistry()
+	if appReg == nil {
+		http.Error(w, "metrics registry disabled for this run", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := appReg.WritePrometheus(w); err != nil {
+		return // client went away mid-write; nothing to clean up
+	}
+	_ = s.reg.WritePrometheus(w)
+	// Counted after rendering so a scrape reports the scrapes that
+	// completed before it.
+	s.scrapes.Inc()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// runzJSON is the /runz response shape: enough to identify a run and
+// see where it is, in the spirit of /debug/vars.
+type runzJSON struct {
+	Tool         string `json:"tool"`
+	Seed         uint64 `json:"seed"`
+	GoVersion    string `json:"go_version"`
+	Ready        bool   `json:"ready"`
+	SimNowNs     int64  `json:"sim_now_ns"`
+	TraceEvents  int    `json:"trace_events"`
+	MetricSeries int    `json:"metric_series"`
+	SSEClients   int    `json:"sse_clients"`
+}
+
+func (s *Server) handleRunz(w http.ResponseWriter, r *http.Request) {
+	o := s.opts.Obs
+	info := runzJSON{
+		Tool:       s.opts.Tool,
+		Seed:       s.opts.Seed,
+		GoVersion:  runtime.Version(),
+		Ready:      s.ready.Load(),
+		SSEClients: int(s.sseClients.Load()),
+	}
+	if o != nil {
+		info.SimNowNs = o.Clock.Now().Nanoseconds()
+		info.TraceEvents = o.Trace.Len()
+		if o.Metrics != nil {
+			info.MetricSeries = len(o.Metrics.Snapshot())
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(info)
+}
+
+func (s *Server) appRegistry() *obs.Registry {
+	if s.opts.Obs == nil {
+		return nil
+	}
+	return s.opts.Obs.Metrics
+}
+
+func (s *Server) tracer() *obs.Tracer {
+	if s.opts.Obs == nil {
+		return nil
+	}
+	return s.opts.Obs.Trace
+}

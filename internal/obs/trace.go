@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -56,6 +57,7 @@ type Tracer struct {
 	clock    Clock
 	events   []Event
 	nextSpan int
+	subs     []*Subscription
 }
 
 // NewTracer returns a tracer stamping events from clock (a nil clock
@@ -78,9 +80,9 @@ func (t *Tracer) Event(name string, attrs ...Attr) {
 		return
 	}
 	t.mu.Lock()
-	t.events = append(t.events, Event{
-		Seq: len(t.events) + 1, T: t.now(), Kind: KindEvent, Name: name, Attrs: attrs,
-	})
+	e := Event{Seq: len(t.events) + 1, T: t.now(), Kind: KindEvent, Name: name, Attrs: attrs}
+	t.events = append(t.events, e)
+	t.publishLocked(e)
 	t.mu.Unlock()
 }
 
@@ -99,9 +101,9 @@ func (t *Tracer) Begin(name string, attrs ...Attr) *Span {
 	t.mu.Lock()
 	t.nextSpan++
 	id := t.nextSpan
-	t.events = append(t.events, Event{
-		Seq: len(t.events) + 1, T: t.now(), Kind: KindBegin, Name: name, Span: id, Attrs: attrs,
-	})
+	e := Event{Seq: len(t.events) + 1, T: t.now(), Kind: KindBegin, Name: name, Span: id, Attrs: attrs}
+	t.events = append(t.events, e)
+	t.publishLocked(e)
 	t.mu.Unlock()
 	return &Span{t: t, id: id, name: name}
 }
@@ -112,9 +114,9 @@ func (s *Span) End(attrs ...Attr) {
 		return
 	}
 	s.t.mu.Lock()
-	s.t.events = append(s.t.events, Event{
-		Seq: len(s.t.events) + 1, T: s.t.now(), Kind: KindEnd, Name: s.name, Span: s.id, Attrs: attrs,
-	})
+	e := Event{Seq: len(s.t.events) + 1, T: s.t.now(), Kind: KindEnd, Name: s.name, Span: s.id, Attrs: attrs}
+	s.t.events = append(s.t.events, e)
+	s.t.publishLocked(e)
 	s.t.mu.Unlock()
 }
 
@@ -138,6 +140,94 @@ func (t *Tracer) Events() []Event {
 	return append([]Event(nil), t.events...)
 }
 
+// Subscription is one live tail of a tracer's event stream (the SSE
+// /traces endpoint holds one per connected client). Delivery never
+// blocks the simulation: when the subscriber's buffer is full the
+// incoming event is dropped for that subscriber — deterministically
+// the *newest* event, so the delivered prefix is always an exact
+// prefix of the recorded stream — and counted in Dropped.
+type Subscription struct {
+	t       *Tracer
+	ch      chan Event
+	dropped atomic.Uint64
+	closed  bool
+}
+
+// Subscribe registers a live tail with the given channel buffer
+// (minimum 1) and returns the backlog of events already recorded —
+// captured atomically with the registration, so backlog + channel
+// reads observe every event exactly once, in sequence order, even
+// when the subscriber joins mid-run. Close the subscription when done.
+// A nil tracer returns a nil backlog and nil subscription (whose
+// methods are all safe).
+func (t *Tracer) Subscribe(buffer int) ([]Event, *Subscription) {
+	if t == nil {
+		return nil, nil
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &Subscription{t: t, ch: make(chan Event, buffer)}
+	t.mu.Lock()
+	backlog := append([]Event(nil), t.events...)
+	t.subs = append(t.subs, sub)
+	t.mu.Unlock()
+	return backlog, sub
+}
+
+// publishLocked fans one freshly recorded event out to the live
+// subscribers. Callers hold t.mu.
+func (t *Tracer) publishLocked(e Event) {
+	for _, sub := range t.subs {
+		select {
+		case sub.ch <- e:
+		default:
+			// Slow consumer: drop the newest event for this subscriber
+			// (drop-newest keeps the delivered stream a strict prefix +
+			// gap, never a reordering) and count it.
+			sub.dropped.Add(1)
+		}
+	}
+}
+
+// C is the live event channel (nil on a nil subscription, which
+// blocks forever in a select — the idiomatic disabled state).
+func (s *Subscription) C() <-chan Event {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// Dropped returns how many events were dropped for this subscriber.
+func (s *Subscription) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Close unregisters the subscription and closes its channel (draining
+// any buffered events is still allowed after Close returns).
+func (s *Subscription) Close() {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for i, sub := range s.t.subs {
+		if sub == s {
+			s.t.subs = append(s.t.subs[:i], s.t.subs[i+1:]...)
+			break
+		}
+	}
+	close(s.ch)
+}
+
 // eventJSON is the wire shape of one JSONL line. Attrs marshal as a
 // JSON object; encoding/json sorts map keys, so output is stable.
 type eventJSON struct {
@@ -149,22 +239,32 @@ type eventJSON struct {
 	Attrs map[string]any `json:"attrs,omitempty"`
 }
 
+// MarshalEvent renders one event as the canonical JSON object used by
+// both the -trace-out JSONL artifact and the live SSE /traces stream.
+func MarshalEvent(e Event) ([]byte, error) {
+	rec := eventJSON{Seq: e.Seq, TNs: e.T.Nanoseconds(), Kind: e.Kind, Name: e.Name, Span: e.Span}
+	if len(e.Attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(e.Attrs))
+		for _, a := range e.Attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("obs: marshal trace event %d: %w", e.Seq, err)
+	}
+	return line, nil
+}
+
 // WriteJSONL writes one JSON object per event, in sequence order.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
 	for _, e := range t.Events() {
-		rec := eventJSON{Seq: e.Seq, TNs: e.T.Nanoseconds(), Kind: e.Kind, Name: e.Name, Span: e.Span}
-		if len(e.Attrs) > 0 {
-			rec.Attrs = make(map[string]any, len(e.Attrs))
-			for _, a := range e.Attrs {
-				rec.Attrs[a.Key] = a.Value
-			}
-		}
-		line, err := json.Marshal(rec)
+		line, err := MarshalEvent(e)
 		if err != nil {
-			return fmt.Errorf("obs: marshal trace event %d: %w", e.Seq, err)
+			return err
 		}
 		if _, err := w.Write(append(line, '\n')); err != nil {
 			return err

@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/modulation"
 	"repro/internal/obs"
+	"repro/internal/obs/alert"
 	"repro/internal/par"
 	"repro/internal/qot"
 	"repro/internal/rng"
@@ -88,6 +89,12 @@ type SimConfig struct {
 	// RoundInterval), never the wall clock, so same-seed runs emit
 	// byte-identical metrics and traces.
 	Obs *obs.Obs
+	// Alerts is the rule set the per-policy alert engine evaluates once
+	// per round against the metrics registry (see internal/obs/alert).
+	// Nil disables alerting; cmd/ wires alert.DefaultWANRules() when
+	// observability is on. Alert events ride the trace with simulation
+	// timestamps, so they inherit the same-seed byte-identity guarantee.
+	Alerts []alert.Rule
 	// Workers bounds how many fibers NewSimulation pre-generates
 	// concurrently and how many policies RunPolicies runs concurrently;
 	// <= 0 means runtime.GOMAXPROCS(0). Results, metrics, and traces
@@ -162,6 +169,10 @@ type RoundMetrics struct {
 	// DisruptedGbpsSec estimates traffic hit by reconfigurations:
 	// Σ over changed links of (traffic on link × downtime seconds).
 	DisruptedGbpsSec float64
+	// MinSNRdB is the lowest SNR across every wavelength this round —
+	// the §2.3 dip signal the snr_dip alert rule watches. It depends
+	// only on the pre-generated SNR evolution, not the policy.
+	MinSNRdB float64
 }
 
 // SatisfiedFraction returns shipped/offered (1 when nothing offered).
@@ -383,6 +394,12 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 	trafficRng := rng.New(cfg.Seed ^ 0x5eed)
 	prevFlow := make([]float64, net.G.NumEdges())
 
+	// Per-policy alert engine: rules see this policy's registry only
+	// (children merge back in policy order, so the combined artifacts
+	// stay deterministic). Nil rules → nil engine → free no-ops.
+	eng := alert.NewEngine(o, cfg.Alerts...)
+	plog := o.Logger().With("policy", policy.String())
+
 	for r := 0; r < cfg.Rounds; r++ {
 		// The simulation clock is the trace timebase: round × interval.
 		o.SetSimTime(time.Duration(r) * cfg.RoundInterval)
@@ -399,7 +416,7 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 			offered += d.Volume
 		}
 
-		metrics := RoundMetrics{Round: r, OfferedGbps: offered}
+		metrics := RoundMetrics{Round: r, OfferedGbps: offered, MinSNRdB: s.minSNRAt(r)}
 
 		// Build this round's IP capacities; count forced changes.
 		g := net.G.Clone()
@@ -538,11 +555,61 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 		metrics.LinksDark = dark
 
 		s.recordRound(o, policy, metrics)
+		// Alerts evaluate after the round's gauges are current, on the
+		// round's simulation timestamp.
+		eng.EvalRound(r)
+		plog.Debug("round complete",
+			"round", r,
+			"offered_gbps", metrics.OfferedGbps,
+			"shipped_gbps", metrics.ShippedGbps,
+			"satisfied", metrics.SatisfiedFraction(),
+			"changes", metrics.Changes,
+			"dark_links", metrics.LinksDark,
+			"min_snr_db", metrics.MinSNRdB)
 		endRound()
 		endPhase()
 		res.Rounds = append(res.Rounds, metrics)
 	}
+	eng.Finish()
+	plog.Info("policy complete",
+		"rounds", len(res.Rounds),
+		"mean_satisfied", res.MeanSatisfied(),
+		"total_shipped_gbps", res.TotalShipped(),
+		"total_changes", res.TotalChanges(),
+		"alerts_fired", len(eng.Summary()))
 	return res, nil
+}
+
+// minSNRAt returns the lowest SNR across every fiber and wavelength at
+// round r.
+func (s *Simulation) minSNRAt(r int) float64 {
+	min := s.snrAt[0][0][r]
+	for f := range s.snrAt {
+		for w := range s.snrAt[f] {
+			if v := s.snrAt[f][w][r]; v < min {
+				min = v
+			}
+		}
+	}
+	return min
+}
+
+// OverrideSNR pins the SNR of one (fiber, wavelength, round) cell —
+// fault injection for scenario tests (e.g. forcing a §2.3-style dip to
+// prove the snr_dip alert fires). Call before Run/RunPolicies; every
+// policy then sees the injected conditions.
+func (s *Simulation) OverrideSNR(fiber, wavelength, round int, snrdB float64) error {
+	if fiber < 0 || fiber >= len(s.snrAt) {
+		return fmt.Errorf("wan: OverrideSNR fiber %d out of range [0,%d)", fiber, len(s.snrAt))
+	}
+	if wavelength < 0 || wavelength >= len(s.snrAt[fiber]) {
+		return fmt.Errorf("wan: OverrideSNR wavelength %d out of range [0,%d)", wavelength, len(s.snrAt[fiber]))
+	}
+	if round < 0 || round >= len(s.snrAt[fiber][wavelength]) {
+		return fmt.Errorf("wan: OverrideSNR round %d out of range [0,%d)", round, len(s.snrAt[fiber][wavelength]))
+	}
+	s.snrAt[fiber][wavelength][round] = snrdB
+	return nil
 }
 
 // emitOrder records one wavelength reconfiguration on the trace. The
@@ -574,6 +641,10 @@ func (s *Simulation) recordRound(o *obs.Obs, policy Policy, m RoundMetrics) {
 	o.Gauge("wan_capacity_gbps", "Total IP capacity in the current round.", pl).Set(m.CapacityGbps)
 	o.Gauge("wan_links_dark", "IP adjacencies with zero capacity in the current round.", pl).Set(float64(m.LinksDark))
 	o.Gauge("wan_round_changes", "Wavelength capacity changes in the current round.", pl).Set(float64(m.Changes))
+	o.Gauge("wan_snr_min_db", "Minimum SNR across every wavelength in the current round (dB); the snr_dip alert watches its dip from the running maximum.", pl).Set(m.MinSNRdB)
+	// Flap rate normalizes changes by IP adjacency count: 1.0 means on
+	// average every link changed one wavelength this round.
+	o.Gauge("wan_flap_rate", "Wavelength capacity changes per IP link in the current round.", pl).Set(float64(m.Changes) / float64(s.cfg.Net.G.NumEdges()))
 	o.Counter("wan_rounds_total", "Simulation rounds executed.", pl).Inc()
 	o.Counter("wan_changes_total", "Wavelength capacity changes across the run.", pl).Add(float64(m.Changes))
 	o.Counter("wan_disrupted_gbps_seconds_total", "Estimated traffic × downtime disrupted by reconfigurations.", pl).Add(m.DisruptedGbpsSec)
@@ -588,7 +659,17 @@ func (s *Simulation) recordSolver(o *obs.Obs, policy Policy, st te.SolverStats) 
 	o.Counter("wan_te_solves_total", "Flow-solver invocations across TE rounds.", pl).Add(float64(st.Solves))
 	o.Counter("wan_te_solver_phases_total", "Flow-solver phases (level graphs / Dijkstra runs / water-fill sweeps) across TE rounds.", pl).Add(float64(st.Phases))
 	o.Counter("wan_te_solver_augmentations_total", "Augmenting paths / path pushes applied across TE rounds.", pl).Add(float64(st.Augmentations))
+	// Solver "latency" is deliberately measured in deterministic work
+	// units (augmenting paths per solve), not wall seconds: wall time
+	// would break the byte-identity guarantee and the nowalltime rule.
+	// The te_solver_work_p99 alert thresholds this histogram.
+	o.Histogram("wan_te_solve_work", "Flow-solver work units (augmenting paths) per TE solve.", solveWorkBuckets, pl).Observe(float64(st.Augmentations))
 }
+
+// solveWorkBuckets spans trivial solves (a handful of paths) to
+// pathological ones; the te_solver_work_p99 alert threshold (20000)
+// sits inside the top finite bucket.
+var solveWorkBuckets = []float64{16, 64, 256, 1024, 4096, 16384, 65536}
 
 // staticMaxCapacity is the feasible capacity a static planner would
 // pick for a wavelength from its whole-horizon SNR (the §2.1
