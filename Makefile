@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-ext vuln test test-short race race-short cover bench bench-json experiments experiments-quick examples serve-demo clean
+.PHONY: all build lint lint-ext vuln test test-short race race-short cover bench bench-json experiments experiments-quick examples serve-demo flight-demo clean
 
 all: build lint test
 
@@ -75,6 +75,26 @@ experiments-quick:
 serve-demo:
 	$(GO) run ./cmd/rwc-wansim -rounds 28 -policy all \
 		-serve localhost:6060 -log info -linger
+
+# Flight recorder demo: record a run, replay it (verifying the
+# regenerated artifacts byte-match the originals), explain one link's
+# decision chain, and bisect against a fault-injected twin.
+flight-demo:
+	rm -rf /tmp/rwc-flight-demo && mkdir -p /tmp/rwc-flight-demo
+	$(GO) run ./cmd/rwc-wansim -rounds 12 -policy dynamic \
+		-metrics-out /tmp/rwc-flight-demo/run.prom \
+		-trace-out /tmp/rwc-flight-demo/run.jsonl \
+		-flight-out /tmp/rwc-flight-demo/run.flight > /dev/null
+	$(GO) run ./cmd/rwc-replay replay /tmp/rwc-flight-demo/run.flight \
+		-verify-metrics /tmp/rwc-flight-demo/run.prom \
+		-verify-trace /tmp/rwc-flight-demo/run.jsonl
+	$(GO) run ./cmd/rwc-replay explain /tmp/rwc-flight-demo/run.flight \
+		-round 2 -edge 0
+	$(GO) run ./cmd/rwc-wansim -rounds 12 -policy dynamic \
+		-override-snr 0,0,5,-5 \
+		-flight-out /tmp/rwc-flight-demo/dip.flight > /dev/null
+	-$(GO) run ./cmd/rwc-replay bisect \
+		/tmp/rwc-flight-demo/run.flight /tmp/rwc-flight-demo/dip.flight
 
 # Run all example programs.
 examples:

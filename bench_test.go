@@ -12,6 +12,7 @@ package repro
 // graph, augmentation granularity, and the two flow solvers.
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"net/http/httptest"
@@ -23,9 +24,11 @@ import (
 	"repro/internal/graph"
 	"repro/internal/modulation"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/serve"
 	"repro/internal/rng"
 	"repro/internal/te"
+	"repro/internal/wan"
 )
 
 func opts() experiments.Options { return experiments.QuickOptions() }
@@ -496,6 +499,58 @@ func BenchmarkFlowSolvers(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := g.MinCostMaxFlow(0, 59); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Flight recorder ---
+
+// BenchmarkWANFlight measures flight-recording overhead on the
+// dynamic-policy WAN simulation: "off" is the plain run, "on" records
+// one frame per round and serializes the full log (frames + trailer)
+// at the end, reporting the frame count and encoded log size. The two
+// variants run the same seed, so the gap between them is the price of
+// the per-link decision audit.
+func BenchmarkWANFlight(b *testing.B) {
+	base := func() wan.SimConfig {
+		return wan.SimConfig{
+			Net:            wan.Abilene(2),
+			Rounds:         16,
+			Seed:           2017,
+			DemandFraction: 1.2,
+			DemandSigma:    0.1,
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim, err := wan.NewSimulation(base())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(wan.PolicyDynamic); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := base()
+			cfg.Flight = flight.New(flight.Options{})
+			sim, err := wan.NewSimulation(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(wan.PolicyDynamic); err != nil {
+				b.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := cfg.Flight.WriteLog(&buf, flight.Meta{Tool: "bench", Seed: 2017}, nil); err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(float64(len(cfg.Flight.Frames())), "frames")
+				b.ReportMetric(float64(buf.Len()), "log-bytes")
 			}
 		}
 	})

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/olog"
 	"repro/internal/obs/serve"
 	"repro/internal/par"
@@ -57,6 +58,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file")
 	traceOut := flag.String("trace-out", "", "write the per-figure trace as JSONL to this file")
 	manifestOut := flag.String("manifest-out", "", "write the run manifest as JSON to this file")
+	flightOut := flag.String("flight-out", "", "record the flight log (per-link decision audit of the throughput simulation) to this file")
+	flightLinks := flag.Int("flight-links", flight.DefaultMaxLinks, "cardinality budget: links granted live labeled series (the log always carries every link)")
 	workers := flag.Int("workers", 0, "fan-out width for figures and the fleet/simulation work inside them (0 = GOMAXPROCS); results are identical for every value")
 	serveAddr := flag.String("serve", "", "serve the live operations plane (/metrics, /healthz, /readyz, /runz, /traces, /debug/pprof) on this address (e.g. localhost:6060)")
 	pprofAddr := flag.String("pprof", "", "serve the same operations plane on a second address")
@@ -81,7 +84,7 @@ func main() {
 	}
 
 	var o *obs.Obs
-	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" ||
+	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" || *flightOut != "" ||
 		*serveAddr != "" || *pprofAddr != "" || *logLevel != "" {
 		o = obs.New("rwc-experiments")
 		start := time.Now()
@@ -96,6 +99,12 @@ func main() {
 		opts.Obs = o
 	}
 
+	// The flight recorder owns its registry and is never merged into the
+	// app bundle, so recording cannot perturb the artifacts below.
+	if *flightOut != "" {
+		opts.Flight = flight.New(flight.Options{MaxLinks: *flightLinks})
+	}
+
 	// The live operations plane shares one helper with rwc-wansim
 	// (internal/obs/serve); serving reads snapshots only, so figures
 	// and artifacts are unaffected.
@@ -108,7 +117,7 @@ func main() {
 	}
 	var servers []*serve.Server
 	for _, addr := range addrs {
-		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-experiments", Seed: opts.Seed})
+		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-experiments", Seed: opts.Seed, Flight: opts.Flight})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rwc-experiments: %v\n", err)
 			os.Exit(1)
@@ -238,6 +247,12 @@ func main() {
 		}
 		if *manifestOut != "" {
 			write(*manifestOut, func(f *os.File) error { return o.Manifest.WriteJSON(f) })
+		}
+		// Written last so the trailer embeds the final artifact state.
+		if opts.Flight != nil {
+			write(*flightOut, func(f *os.File) error {
+				return opts.Flight.WriteLog(f, flight.Meta{Tool: "rwc-experiments", Seed: int64(opts.Seed)}, o)
+			})
 		}
 	}
 

@@ -10,12 +10,16 @@
 //
 //	rwc-obsdiff [-tol F] a.prom b.prom
 //	rwc-obsdiff [-tol F] a.json b.json
+//	rwc-obsdiff a.flight b.flight
 //	rwc-obsdiff -check file...
 //
 // With -check, each file is parse-validated only (no comparison); any
 // unparsable file is an error. Manifests compare seeds, metric totals,
 // and alert summaries; wall-clock phase durations are excluded (two
-// runs always differ there).
+// runs always differ there). Flight logs (.flight) delegate to the
+// rwc-replay bisect engine: the first diverging (round, link, field)
+// is reported, with the same 0/1/2 exit contract (-tol does not apply
+// — flight divergence is exact by design).
 //
 // Exit status: 0 = artifacts agree (or all -check files parse),
 // 1 = differences found, 2 = usage or parse error.
@@ -28,6 +32,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 func fatalf(code int, format string, args ...any) {
@@ -50,7 +55,42 @@ func loadTotals(path string) (map[string]float64, error) {
 	case ".json":
 		return obs.ManifestTotals(f)
 	default:
-		return nil, fmt.Errorf("%s: unknown artifact extension %q (want .prom or .json)", path, ext)
+		return nil, fmt.Errorf("%s: unknown artifact extension %q (want .prom, .json, or .flight)", path, ext)
+	}
+}
+
+// loadFlight reads and hash-verifies one flight log.
+func loadFlight(path string) (*flight.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	log, err := flight.ReadLog(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := log.VerifyHashes(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return log, nil
+}
+
+// diffFlight compares two flight logs via the bisect engine and exits
+// with the shared 0/1/2 contract.
+func diffFlight(pathA, pathB string) {
+	a, err := loadFlight(pathA)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+	b, err := loadFlight(pathB)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+	d := flight.Bisect(a, b)
+	fmt.Println(d)
+	if d.Found {
+		os.Exit(1)
 	}
 }
 
@@ -71,6 +111,14 @@ func main() {
 			os.Exit(2)
 		}
 		for _, path := range args {
+			if filepath.Ext(path) == ".flight" {
+				log, err := loadFlight(path)
+				if err != nil {
+					fatalf(2, "%v", err)
+				}
+				fmt.Printf("%s: ok (%d frames, hashes verified)\n", path, len(log.Frames))
+				continue
+			}
 			totals, err := loadTotals(path)
 			if err != nil {
 				fatalf(2, "%v", err)
@@ -86,6 +134,10 @@ func main() {
 	}
 	if extA, extB := filepath.Ext(args[0]), filepath.Ext(args[1]); extA != extB {
 		fatalf(2, "cannot compare %s against %s (different artifact kinds)", args[0], args[1])
+	}
+	if filepath.Ext(args[0]) == ".flight" {
+		diffFlight(args[0], args[1])
+		return
 	}
 	a, err := loadTotals(args[0])
 	if err != nil {

@@ -8,8 +8,9 @@
 //	rwc-wansim [-topology abilene|us|random] [-rounds N] [-policy p]
 //	           [-demand f] [-wavelengths N] [-seed N] [-hitless]
 //	           [-workers N] [-metrics-out m.prom] [-trace-out t.jsonl]
-//	           [-manifest-out run.json] [-serve addr] [-pprof addr]
-//	           [-log level] [-alerts] [-linger]
+//	           [-manifest-out run.json] [-flight-out run.flight]
+//	           [-flight-links N] [-override-snr f,w,r,db] [-serve addr]
+//	           [-pprof addr] [-log level] [-alerts] [-linger]
 //
 // The three -*-out flags enable the observability layer: -metrics-out
 // writes the final metric registry in Prometheus text format,
@@ -17,6 +18,17 @@
 // time, so same-seed runs are byte-identical), and -manifest-out a run
 // manifest with the seed, options, per-round wall durations, and
 // metric totals.
+//
+// -flight-out records the flight log: one frame per (policy, round)
+// with per-link SNR, modulation tier, fake-edge offer, solver
+// attribution, and the decision verdict, plus a trailer embedding the
+// metrics/trace artifacts so `rwc-replay replay` can regenerate them
+// byte-identically from the log alone. Recording is pure reads — a run
+// with -flight-out produces byte-identical metrics/trace/manifest
+// files to the same run without it. -flight-links caps how many links
+// get live labeled series (the log itself always carries every link).
+// -override-snr pins one (fiber,wavelength,round) SNR cell before the
+// run — fault injection for `rwc-replay bisect` smoke tests.
 //
 // The live operations plane rides the same bundle: -serve exposes
 // /metrics, /healthz, /readyz, /runz, the SSE /traces tail, and
@@ -41,10 +53,19 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/alert"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/olog"
 	"repro/internal/obs/serve"
 	"repro/internal/wan"
 )
+
+// parseOverrideSNR parses -override-snr "fiber,wavelength,round,db".
+func parseOverrideSNR(s string) (fiber, wavelength, round int, db float64, err error) {
+	if _, err = fmt.Sscanf(s, "%d,%d,%d,%g", &fiber, &wavelength, &round, &db); err != nil {
+		err = fmt.Errorf("bad -override-snr %q (want fiber,wavelength,round,db): %v", s, err)
+	}
+	return
+}
 
 // parseTopology is the single validation path for -topology.
 func parseTopology(name string, wavelengths int, seed uint64) (*wan.Network, error) {
@@ -118,6 +139,9 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write final metrics in Prometheus text format to this file")
 	traceOut := flag.String("trace-out", "", "write the decision trace as JSONL to this file")
 	manifestOut := flag.String("manifest-out", "", "write the run manifest as JSON to this file")
+	flightOut := flag.String("flight-out", "", "record the flight log (per-link decision audit) to this file")
+	flightLinks := flag.Int("flight-links", flight.DefaultMaxLinks, "cardinality budget: links granted live labeled series (the log always carries every link)")
+	overrideSNR := flag.String("override-snr", "", "pin one SNR cell as fiber,wavelength,round,db before the run (fault injection)")
 	serveAddr := flag.String("serve", "", "serve the live operations plane (/metrics, /healthz, /readyz, /runz, /traces, /debug/pprof) on this address (e.g. localhost:6060)")
 	pprofAddr := flag.String("pprof", "", "serve the same operations plane on a second address (kept for compatibility)")
 	logLevel := flag.String("log", "", "structured stderr logging level: debug, info, warn, error (empty = off)")
@@ -145,7 +169,7 @@ func main() {
 	// for manifest phase durations only. Serving and logging also need
 	// the bundle, so they enable it too.
 	var o *obs.Obs
-	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" ||
+	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" || *flightOut != "" ||
 		*serveAddr != "" || *pprofAddr != "" || *logLevel != "" {
 		o = obs.New("rwc-wansim")
 		start := time.Now()
@@ -170,9 +194,16 @@ func main() {
 	if *pprofAddr != "" && *pprofAddr != *serveAddr {
 		addrs = append(addrs, *pprofAddr)
 	}
+	// The flight recorder owns its registry and is never merged into the
+	// app bundle, so recording cannot perturb the artifacts above.
+	var recorder *flight.Recorder
+	if *flightOut != "" {
+		recorder = flight.New(flight.Options{MaxLinks: *flightLinks})
+	}
+
 	var servers []*serve.Server
 	for _, addr := range addrs {
-		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-wansim", Seed: *seed})
+		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-wansim", Seed: *seed, Flight: recorder})
 		if err != nil {
 			fatal(err)
 		}
@@ -198,9 +229,19 @@ func main() {
 	if *alertsOn && o != nil {
 		cfg.Alerts = alert.DefaultWANRules()
 	}
+	cfg.Flight = recorder
 	sim, err := wan.NewSimulation(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *overrideSNR != "" {
+		f, w, r, db, err := parseOverrideSNR(*overrideSNR)
+		if err != nil {
+			usageError(err)
+		}
+		if err := sim.OverrideSNR(f, w, r, db); err != nil {
+			usageError(err)
+		}
 	}
 	for _, srv := range servers {
 		srv.SetReady(true)
@@ -244,6 +285,14 @@ func main() {
 		}
 		if *manifestOut != "" {
 			writeOutput(*manifestOut, func(f *os.File) error { return o.Manifest.WriteJSON(f) })
+		}
+		// Written after the artifacts above so the trailer embeds their
+		// final state — that's what lets `rwc-replay replay` regenerate
+		// them byte-identically from the log alone.
+		if recorder != nil {
+			writeOutput(*flightOut, func(f *os.File) error {
+				return recorder.WriteLog(f, flight.Meta{Tool: "rwc-wansim", Seed: int64(*seed)}, o)
+			})
 		}
 	}
 

@@ -61,6 +61,64 @@ type Order struct {
 	From, To modulation.Gbps
 }
 
+// Verdict classifies what the decision pipeline concluded for one edge
+// in one Step — the per-link audit trail the flight recorder surfaces.
+// Exactly one verdict is recorded per edge per Step; when several
+// stages touch an edge, the decisive (last-acting) stage wins.
+type Verdict int
+
+const (
+	// VerdictSteady: nothing to decide — no headroom, no SNR pressure.
+	VerdictSteady Verdict = iota
+	// VerdictPinned: §4.2(i) pinned flow excludes the edge from changes.
+	VerdictPinned
+	// VerdictForcedDowngrade: SNR forced a flap to a lower rung.
+	VerdictForcedDowngrade
+	// VerdictRestored: SNR recovered and capacity returned toward
+	// nominal (bypasses hysteresis; not a TE optimization).
+	VerdictRestored
+	// VerdictHysteresisHold: a higher rung is feasible but the hold
+	// count has not yet qualified it, so no fake edge was offered.
+	VerdictHysteresisHold
+	// VerdictDamped: flap damping blocked the upgrade offer.
+	VerdictDamped
+	// VerdictOffered: a fake edge was offered and the solver routed no
+	// flow over it — headroom available but not worth the penalty.
+	VerdictOffered
+	// VerdictUpgraded: the solver selected the fake edge and the
+	// upgrade was committed.
+	VerdictUpgraded
+	// VerdictBudgetDropped: the solver selected the upgrade but the
+	// per-round change budget dropped it.
+	VerdictBudgetDropped
+)
+
+// String names the verdict for traces and explain output.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSteady:
+		return "steady"
+	case VerdictPinned:
+		return "pinned"
+	case VerdictForcedDowngrade:
+		return "forced-downgrade"
+	case VerdictRestored:
+		return "restored"
+	case VerdictHysteresisHold:
+		return "hysteresis-hold"
+	case VerdictDamped:
+		return "damped"
+	case VerdictOffered:
+		return "offered-idle"
+	case VerdictUpgraded:
+		return "upgraded"
+	case VerdictBudgetDropped:
+		return "budget-dropped"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
 // Plan is the output of one control-loop iteration.
 type Plan struct {
 	// Orders lists modulation changes, forced downgrades first.
@@ -69,6 +127,9 @@ type Plan struct {
 	Allocation *te.Allocation
 	// Decision is the translated capacity/flow decision.
 	Decision *core.Decision
+	// Verdicts records, for every edge, what the decision pipeline
+	// concluded this Step (see Verdict).
+	Verdicts map[graph.EdgeID]Verdict
 	// EstimatedDisruption is Σ over re-modulated links of (current
 	// traffic × per-change downtime).
 	EstimatedDisruption float64
@@ -312,8 +373,15 @@ func (c *Controller) UnpinAll() {
 func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
 	endStep := c.cfg.Obs.Span("controller.step")
 	defer endStep()
-	plan := &Plan{}
+	plan := &Plan{Verdicts: make(map[graph.EdgeID]Verdict, len(c.links))}
 	c.decayDamping()
+	for _, e := range c.g.Edges() {
+		if c.links[e.ID].pinned {
+			plan.Verdicts[e.ID] = VerdictPinned
+		} else {
+			plan.Verdicts[e.ID] = VerdictSteady
+		}
+	}
 
 	// 1. Apply pending forced downgrades based on the latest SNR.
 	for _, e := range c.g.Edges() {
@@ -339,6 +407,7 @@ func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
 					plan.EstimatedDisruption += ls.lastFlow * c.cfg.ChangeDowntime.Seconds()
 					ls.configured = target
 					c.chargeDamping(e.ID)
+					plan.Verdicts[e.ID] = VerdictRestored
 				}
 			}
 		}
@@ -360,6 +429,7 @@ func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
 				ls.configured = to
 				ls.holdCount = 0
 				c.chargeDamping(e.ID)
+				plan.Verdicts[e.ID] = VerdictForcedDowngrade
 			}
 		}
 	}
@@ -367,7 +437,7 @@ func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
 	// 2+3. Build the TE input (pinned capacity hidden; hysteresis and
 	//      flap damping gate upgrade headroom), augment, run the
 	//      unmodified TE, translate.
-	alloc, dec, err := c.runTE(demands, c.upgradeAllowed)
+	alloc, dec, aug, err := c.runTE(demands, c.upgradeAllowed)
 	if err != nil {
 		return nil, err
 	}
@@ -397,15 +467,29 @@ func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
 		for _, o := range kept {
 			keptSet[o.Edge] = true
 		}
-		alloc, dec, err = c.runTE(demands, func(id graph.EdgeID) bool {
+		alloc, dec, aug, err = c.runTE(demands, func(id graph.EdgeID) bool {
 			return keptSet[id] && c.upgradeAllowed(id)
 		})
 		if err != nil {
 			return nil, err
 		}
+		for _, o := range candidates {
+			if !keptSet[o.Edge] {
+				plan.Verdicts[o.Edge] = VerdictBudgetDropped
+			}
+		}
 	}
 	plan.Allocation = alloc
 	plan.Decision = dec
+
+	// Attribute the solver's fake-edge selections (Theorem 1's implicit
+	// decisions made explicit): offered-but-idle vs selected; selected
+	// edges flip to VerdictUpgraded in the commit loop below.
+	for _, att := range aug.Attribution(alloc.EdgeFlow) {
+		if plan.Verdicts[att.Real] == VerdictSteady {
+			plan.Verdicts[att.Real] = VerdictOffered
+		}
+	}
 
 	// Commit TE-decided upgrades as orders.
 	for _, ch := range dec.Changes {
@@ -420,6 +504,26 @@ func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
 		ls.configured = to
 		ls.holdCount = 0
 		c.chargeDamping(ch.Edge)
+		plan.Verdicts[ch.Edge] = VerdictUpgraded
+	}
+
+	// Classify the edges no stage touched: distinguish "no headroom"
+	// (steady) from "headroom gated before it reached TE" (hysteresis
+	// hold or flap damping), so explain can show which gate held.
+	for _, e := range c.g.Edges() {
+		if plan.Verdicts[e.ID] != VerdictSteady {
+			continue
+		}
+		ls := c.links[e.ID]
+		m, feasible := c.cfg.Ladder.FeasibleCapacity(ls.snrdB - c.cfg.DowngradeMargindB)
+		if !feasible || m.Capacity <= ls.configured {
+			continue
+		}
+		if ls.holdCount < c.cfg.UpgradeHoldObservations {
+			plan.Verdicts[e.ID] = VerdictHysteresisHold
+		} else if !c.upgradeAllowed(e.ID) {
+			plan.Verdicts[e.ID] = VerdictDamped
+		}
 	}
 
 	// 5. Record flows for the next round's penalties and restore the
@@ -437,8 +541,10 @@ func (c *Controller) Step(demands []te.Demand) (*Plan, error) {
 }
 
 // runTE builds the augmented topology (honoring pins, hysteresis, and
-// the allowUpgrade filter), runs the TE, and translates the result.
-func (c *Controller) runTE(demands []te.Demand, allowUpgrade func(graph.EdgeID) bool) (*te.Allocation, *core.Decision, error) {
+// the allowUpgrade filter), runs the TE, and translates the result. The
+// augmentation is returned alongside so Step can attribute fake-edge
+// selections per link.
+func (c *Controller) runTE(demands []te.Demand, allowUpgrade func(graph.EdgeID) bool) (*te.Allocation, *core.Decision, *core.Augmentation, error) {
 	top := core.NewTopology(c.g)
 	for _, e := range c.g.Edges() {
 		ls := c.links[e.ID]
@@ -448,7 +554,7 @@ func (c *Controller) runTE(demands []te.Demand, allowUpgrade func(graph.EdgeID) 
 		}
 		c.g.SetCapacity(e.ID, visible)
 		if err := top.SetTraffic(e.ID, ls.lastFlow); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if ls.pinned || ls.holdCount < c.cfg.UpgradeHoldObservations {
 			continue
@@ -462,12 +568,12 @@ func (c *Controller) runTE(demands []te.Demand, allowUpgrade func(graph.EdgeID) 
 			continue
 		}
 		if err := top.SetUpgrade(e.ID, float64(m.Capacity-ls.configured), 1); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	aug, err := core.Augment(top, c.cfg.Penalty)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	endSolve := c.cfg.Obs.Span("controller.te_solve",
 		obs.A("algorithm", c.cfg.TE.Name()),
@@ -475,7 +581,7 @@ func (c *Controller) runTE(demands []te.Demand, allowUpgrade func(graph.EdgeID) 
 	alloc, err := c.cfg.TE.Allocate(aug.Graph, demands)
 	endSolve()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	c.cfg.Obs.Counter("controller_te_solves_total",
 		"Flow-solver invocations inside TE allocations run by the controller.").Add(float64(alloc.Solver.Solves))
@@ -485,7 +591,7 @@ func (c *Controller) runTE(demands []te.Demand, allowUpgrade func(graph.EdgeID) 
 		"Augmenting paths / path pushes applied across controller TE runs.").Add(float64(alloc.Solver.Augmentations))
 	dec, err := aug.Translate(graph.FlowResult{Value: alloc.Throughput, EdgeFlow: alloc.EdgeFlow})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return alloc, dec, nil
+	return alloc, dec, aug, nil
 }

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// This file answers the audit question behind Theorem 1 (§4): the TE
+// algorithm selects fake edges implicitly, by routing flow over them —
+// Attribution makes that selection explicit per physical link so the
+// flight recorder can explain *why* an upgrade happened (or didn't).
+
+// FakeAttribution describes, for one upgradable physical edge, what the
+// augmentation offered the solver and what the solver did with it.
+type FakeAttribution struct {
+	// Real is the physical edge; Fake its fake edge in G′.
+	Real, Fake graph.EdgeID
+	// FakeCapacity and FakePenalty are the ⟨capacity, penalty⟩ the fake
+	// edge advertised (§3.2): the headroom above the configured rate
+	// and the per-unit activation cost charged for using it.
+	FakeCapacity, FakePenalty float64
+	// FlowOnFake is the flow the solver routed over the fake edge — a
+	// positive value is the solver "selecting" the upgrade.
+	FlowOnFake float64
+	// Residual is the fake capacity the solver left unused.
+	Residual float64
+	// Selected reports FlowOnFake > graph.Eps, the same threshold
+	// Translate uses to turn fake flow into a CapacityChange.
+	Selected bool
+}
+
+// Attribution reports, for every upgradable physical edge, the fake
+// edge the augmentation offered and how much flow the solver routed
+// over it, sorted ascending by physical edge ID. edgeFlow is the flow
+// result on the augmented graph (gadgetized links attribute via their
+// inner fake edge). Out-of-range fake IDs read as zero flow, so a
+// partial edgeFlow never panics.
+func (a *Augmentation) Attribution(edgeFlow []float64) []FakeAttribution {
+	res := graph.FlowResult{EdgeFlow: edgeFlow}
+	out := make([]FakeAttribution, 0, len(a.FakeFor))
+	for realID, fakeID := range a.FakeFor {
+		fe := a.Graph.Edge(fakeID)
+		f := res.FlowOn(fakeID)
+		out = append(out, FakeAttribution{
+			Real:         realID,
+			Fake:         fakeID,
+			FakeCapacity: fe.Capacity,
+			FakePenalty:  fe.Cost,
+			FlowOnFake:   f,
+			Residual:     fe.Capacity - f,
+			Selected:     f > graph.Eps,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Real < out[j].Real })
+	return out
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAttributionReportsSelectionAndResidual(t *testing.T) {
+	g := graph.New()
+	s, d := g.AddNode("s"), g.AddNode("d")
+	e0 := g.AddEdge(graph.Edge{From: s, To: d, Capacity: 100})
+	e1 := g.AddEdge(graph.Edge{From: s, To: d, Capacity: 100})
+
+	top := NewTopology(g)
+	if err := top.SetUpgrade(e0, 100, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.SetUpgrade(e1, 50, 2); err != nil {
+		t.Fatal(err)
+	}
+	aug, err := Augment(top, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand 260: base 200 plus 60 of upgrade headroom. The min-cost
+	// solver fills free real capacity first, then the cheapest fakes.
+	res, err := aug.Graph.MinCostFlow(s, d, 260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atts := aug.Attribution(res.EdgeFlow)
+	if len(atts) != 2 {
+		t.Fatalf("got %d attributions, want 2", len(atts))
+	}
+	if atts[0].Real != e0 || atts[1].Real != e1 {
+		t.Fatalf("attributions not sorted by real edge: %+v", atts)
+	}
+	var selected, totalFake float64
+	for _, a := range atts {
+		if a.Fake != aug.FakeFor[a.Real] {
+			t.Errorf("edge %d fake = %d, want %d", int(a.Real), int(a.Fake), int(aug.FakeFor[a.Real]))
+		}
+		if a.FakePenalty != 2 {
+			t.Errorf("edge %d penalty = %v, want 2", int(a.Real), a.FakePenalty)
+		}
+		if math.Abs(a.Residual-(a.FakeCapacity-a.FlowOnFake)) > graph.Eps {
+			t.Errorf("edge %d residual = %v, capacity %v flow %v", int(a.Real), a.Residual, a.FakeCapacity, a.FlowOnFake)
+		}
+		if a.Selected != (a.FlowOnFake > graph.Eps) {
+			t.Errorf("edge %d selected = %v with flow %v", int(a.Real), a.Selected, a.FlowOnFake)
+		}
+		if a.Selected {
+			selected++
+		}
+		totalFake += a.FlowOnFake
+	}
+	if selected == 0 {
+		t.Fatal("no fake edge selected for a demand above base capacity")
+	}
+	if math.Abs(totalFake-60) > 1e-6 {
+		t.Fatalf("fake flow = %v, want 60", totalFake)
+	}
+
+	// A short edgeFlow (e.g. from a stale solve) must not panic and
+	// reads as zero fake flow.
+	atts = aug.Attribution(res.EdgeFlow[:2])
+	for _, a := range atts {
+		if a.FlowOnFake != 0 || a.Selected {
+			t.Errorf("short edgeFlow attributed flow: %+v", a)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // Options scales the experiments.
@@ -36,6 +37,10 @@ type Options struct {
 	// durations; nil (the default) disables observability at no cost.
 	// Obs is threaded through to the simulations the figures run.
 	Obs *obs.Obs
+	// Flight receives per-round decision frames from the simulations
+	// the figures run (currently the throughput-gains simulation,
+	// labeled by run name); nil disables recording.
+	Flight *flight.Recorder
 	// Workers bounds the fan-out inside each figure (fleet generation
 	// and analysis, per-policy simulation runs); <= 0 means
 	// runtime.GOMAXPROCS(0). Every value produces identical figures,

@@ -51,6 +51,8 @@ func ThroughputGains(o Options) (*ThroughputGainsResult, error) {
 		DemandSigma:    0.1,
 		Obs:            o.Obs,
 		Workers:        o.Workers,
+		Flight:         o.Flight,
+		FlightRun:      "throughput-gains",
 	})
 	if err != nil {
 		return nil, err

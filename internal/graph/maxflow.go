@@ -38,6 +38,17 @@ func (s *SolveStats) Add(o SolveStats) {
 	s.Augmentations += o.Augmentations
 }
 
+// FlowOn returns the flow assigned to edge id, or 0 when the id is out
+// of range (e.g. an edge appended to the graph after the solve). The
+// bounds check makes per-edge attribution safe against graph/result
+// size mismatches without every caller re-validating lengths.
+func (r *FlowResult) FlowOn(id EdgeID) float64 {
+	if r == nil || id < 0 || int(id) >= len(r.EdgeFlow) {
+		return 0
+	}
+	return r.EdgeFlow[id]
+}
+
 // costOn recomputes the cost of a flow assignment on g.
 func (r *FlowResult) costOn(g *Graph) float64 {
 	var c float64

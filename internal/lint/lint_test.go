@@ -35,6 +35,13 @@ func TestNoWallTimeRejectsObsAlert(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/obs/alert")
 }
 
+func TestNoWallTimeRejectsObsFlight(t *testing.T) {
+	// The flight recorder is covered too: frames and the log trailer
+	// must be pure functions of simulation state, or replay
+	// byte-identity and bisect both break.
+	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/obs/flight")
+}
+
 func TestNoWallTimeObsServeRequiresNolint(t *testing.T) {
 	// The HTTP serving layer is also covered, but its live-client
 	// goroutines may read wall time behind a same-line, justified

@@ -1,0 +1,29 @@
+// Fixture: the flight recorder lives under internal/obs, so the
+// nowalltime rule covers it via segment matching. Frames and the log
+// trailer must be a pure function of simulation state — a wall-clock
+// stamp in a frame would break replay byte-identity and make bisect
+// report phantom divergences between identical runs.
+package flight
+
+import "time"
+
+// frame is a cut-down round record for the fixture.
+type frame struct {
+	round int
+	simNs int64
+}
+
+// record stamps a frame with the simulation round only: clean.
+func record(round int, simClock func() time.Duration) frame {
+	return frame{round: round, simNs: simClock().Nanoseconds()}
+}
+
+// badRecord stamps a frame with the wall clock.
+func badRecord(round int) (frame, time.Time) {
+	return frame{round: round}, time.Now() // want `time.Now in simulation package repro/internal/obs/flight`
+}
+
+// badFlush ticks the log writer on host time instead of round count.
+func badFlush() <-chan time.Time {
+	return time.Tick(time.Second) // want `time.Tick in simulation package`
+}

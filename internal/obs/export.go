@@ -1,0 +1,98 @@
+package obs
+
+import "math"
+
+// This file implements a complete, JSON-serializable dump of a metrics
+// Registry and its inverse. The flight recorder embeds the dump in its
+// log trailer so `rwc-replay replay` can re-render the exact Prometheus
+// exposition of the original run from the log alone: Restore rebuilds
+// the series storage bit-for-bit (encoding/json round-trips float64
+// through the shortest decimal representation, which is exact), and
+// WritePrometheus on the restored registry is then byte-identical to
+// the original run's -metrics-out artifact.
+
+// SeriesDump is one series in a RegistryDump.
+type SeriesDump struct {
+	Labels []Label `json:"labels,omitempty"`
+	// Value is the counter total, gauge value, or histogram sum.
+	Value float64 `json:"value"`
+	// Histogram-only fields: observation count and per-bucket
+	// (non-cumulative) counts aligned with the family's Upper bounds.
+	Count   uint64   `json:"count,omitempty"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// FamilyDump is one metric family in a RegistryDump, series sorted by
+// label signature.
+type FamilyDump struct {
+	Name   string       `json:"name"`
+	Help   string       `json:"help,omitempty"`
+	Type   string       `json:"type"`
+	Upper  []float64    `json:"upper,omitempty"`
+	Series []SeriesDump `json:"series"`
+}
+
+// RegistryDump is a full copy of a registry's state, families sorted
+// by name. Marshaling it to JSON and back loses nothing.
+type RegistryDump struct {
+	Families []FamilyDump `json:"families,omitempty"`
+}
+
+// Export copies the registry into a RegistryDump. Nil receivers export
+// an empty dump.
+func (r *Registry) Export() RegistryDump {
+	if r == nil {
+		return RegistryDump{}
+	}
+	snaps := r.Snapshot()
+	r.mu.Lock()
+	meta := make(map[string]*family, len(r.families))
+	for name, f := range r.families {
+		meta[name] = f
+	}
+	r.mu.Unlock()
+	var dump RegistryDump
+	var cur *FamilyDump
+	for _, s := range snaps {
+		if cur == nil || cur.Name != s.Name {
+			f := meta[s.Name]
+			dump.Families = append(dump.Families, FamilyDump{
+				Name:  s.Name,
+				Help:  f.help,
+				Type:  f.typ,
+				Upper: append([]float64(nil), f.upper...),
+			})
+			cur = &dump.Families[len(dump.Families)-1]
+		}
+		sd := SeriesDump{Labels: s.Labels, Value: s.Value}
+		if s.Type == typeHistogram {
+			sd.Value = s.Sum
+			sd.Count = s.Count
+			sd.Buckets = append([]uint64(nil), s.Buckets...)
+		}
+		cur.Series = append(cur.Series, sd)
+	}
+	return dump
+}
+
+// Restore rebuilds a registry whose state matches the dump exactly, so
+// WritePrometheus/Totals/Snapshot on the result reproduce the original
+// registry's output byte-for-byte.
+func (d RegistryDump) Restore() *Registry {
+	r := NewRegistry()
+	for _, fd := range d.Families {
+		for _, sd := range fd.Series {
+			s := r.getSeries(fd.Name, fd.Help, fd.Type, append([]float64(nil), fd.Upper...), sd.Labels)
+			s.bits.Store(math.Float64bits(sd.Value))
+			if fd.Type == typeHistogram {
+				s.count.Store(sd.Count)
+				for i := range sd.Buckets {
+					if i < len(s.bucketCounts) {
+						s.bucketCounts[i].Store(sd.Buckets[i])
+					}
+				}
+			}
+		}
+	}
+	return r
+}

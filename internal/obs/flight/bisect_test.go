@@ -1,0 +1,167 @@
+package flight
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// logFrom writes and re-reads a recorder, failing on error.
+func logFrom(t *testing.T, rec *Recorder) *Log {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rec.WriteLog(&buf, Meta{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	log, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestBisectIdenticalLogs(t *testing.T) {
+	a := logFrom(t, record(t, Options{}, 5, "dynamic", "static-100G"))
+	b := logFrom(t, record(t, Options{}, 5, "dynamic", "static-100G"))
+	d := Bisect(a, b)
+	if d.Found {
+		t.Fatalf("identical logs diverge: %s", d)
+	}
+	if !strings.Contains(d.String(), "identical") {
+		t.Fatalf("identical rendering = %q", d.String())
+	}
+}
+
+func TestBisectNamesFirstDivergingRoundAndLink(t *testing.T) {
+	mk := func(dip bool) *Log {
+		rec := New(Options{})
+		if err := rec.Bind("", testLinks(), testLadder()); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []string{"dynamic", "static-100G"} {
+			for r := 0; r < 6; r++ {
+				vary := 0.0
+				if dip && r >= 3 {
+					vary = -2.5 // SNR delta on link 1 from round 3 on
+				}
+				rec.Record(testFrame(p, r, vary))
+			}
+		}
+		return logFrom(t, rec)
+	}
+	d := Bisect(mk(false), mk(true))
+	if !d.Found || d.Structural != "" {
+		t.Fatalf("divergence not found: %+v", d)
+	}
+	// Canonical order: policy "dynamic" sorts first; the first touched
+	// round is 3; the varied link is index 1 ("b->a"); the first field
+	// in causal order is the SNR sample.
+	if d.Policy != "dynamic" || d.Round != 3 || d.Link != "b->a" || d.Field != "snr_db" {
+		t.Fatalf("divergence = %+v, want dynamic/round 3/b->a/snr_db", d)
+	}
+	if d.A == d.B {
+		t.Fatalf("values not reported: %+v", d)
+	}
+	if !strings.Contains(d.String(), "round 3") || !strings.Contains(d.String(), "b->a") {
+		t.Fatalf("rendering lost the location: %q", d.String())
+	}
+}
+
+func TestBisectStructuralDifferences(t *testing.T) {
+	base := logFrom(t, record(t, Options{}, 3, "dynamic"))
+
+	// Different round count.
+	longer := logFrom(t, record(t, Options{}, 4, "dynamic"))
+	if d := Bisect(base, longer); !d.Found || d.Structural == "" {
+		t.Fatalf("frame-count mismatch not structural: %+v", d)
+	}
+
+	// Different link table.
+	other := New(Options{})
+	links := testLinks()
+	links[2].Name = "b->z"
+	if err := other.Bind("", links, testLadder()); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		other.Record(testFrame("dynamic", r, 0))
+	}
+	if d := Bisect(base, logFrom(t, other)); !d.Found || !strings.Contains(d.Structural, "b->z") {
+		t.Fatalf("link-table mismatch not reported: %+v", d)
+	}
+}
+
+func TestExplainChain(t *testing.T) {
+	log := logFrom(t, record(t, Options{}, 3, "dynamic"))
+
+	e, err := log.Explain("", "dynamic", 1, "a->b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Link.Edge != 0 || e.Rec.Verdict != VerdictUpgrade {
+		t.Fatalf("explanation = %+v", e)
+	}
+	out := e.Format()
+	for _, want := range []string{
+		"link a->b (edge 0, fiber 0)",
+		"round 1",
+		"1. SNR sample",
+		"16.10 dB",
+		"2. modulation lookup",
+		"tier 200 Gbps",
+		"threshold 15.5 dB",
+		"3. fake edge",
+		"⟨200 Gbps headroom, penalty 1⟩",
+		"4. solver selection",
+		"routed 50.000 Gbps",
+		"5. decision gate",
+		"verdict upgrade",
+		"6. applied capacity",
+		"200 Gbps",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A dark link: lookup below the lowest rung, no fake edge.
+	e, err = log.Explain("", "dynamic", 0, "b->c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = e.Format()
+	for _, want := range []string{"below the lowest rung", "none offered", "verdict dark", "next rung 50 Gbps needs 3 dB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dark-link explain missing %q:\n%s", want, out)
+		}
+	}
+
+	// Lookup by edge ID string.
+	if e, err = log.Explain("", "dynamic", 0, "1"); err != nil || e.Link.Name != "b->a" {
+		t.Fatalf("edge-ID lookup = %+v, %v", e, err)
+	}
+
+	// Errors: unknown link, policy, round, run.
+	if _, err := log.Explain("", "dynamic", 0, "nope"); err == nil {
+		t.Error("unknown link accepted")
+	}
+	if _, err := log.Explain("", "walk", 0, "a->b"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := log.Explain("", "dynamic", 99, "a->b"); err == nil {
+		t.Error("unknown round accepted")
+	}
+	if _, err := log.Explain("figure-7", "dynamic", 0, "a->b"); err == nil {
+		t.Error("unknown run accepted")
+	}
+}
+
+func TestLogSummary(t *testing.T) {
+	log := logFrom(t, record(t, Options{}, 2, "dynamic", "static-max"))
+	s := log.Summary()
+	for _, want := range []string{"1 run(s)", "4 frame(s)", "policy dynamic: 2 round(s)", "policy static-max: 2 round(s)", "3 links"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

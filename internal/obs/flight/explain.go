@@ -1,0 +1,142 @@
+package flight
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file renders the causal chain behind one link's capacity in one
+// round: SNR sample → modulation table lookup → fake-edge ⟨capacity,
+// penalty⟩ offer → solver selection → decision gate → applied
+// capacity. Each step is a field of the recorded frame, so the output
+// is the controller's actual decision, not a reconstruction.
+
+// Explanation is one link's decision chain in one round.
+type Explanation struct {
+	Run    string
+	Policy string
+	Round  int
+	Link   Link
+	Rec    LinkRecord
+	Ladder []LadderRung
+}
+
+// Explain locates the frame for (run, policy, round) and the link
+// named by linkRef — a link name from the table, or a numeric edge ID —
+// and returns its decision chain.
+func (l *Log) Explain(run, policy string, round int, linkRef string) (*Explanation, error) {
+	rt, err := l.run(run)
+	if err != nil {
+		return nil, err
+	}
+	linkIdx := -1
+	for i, link := range rt.Links {
+		if link.Name == linkRef {
+			linkIdx = i
+			break
+		}
+	}
+	if linkIdx < 0 {
+		if edge, err := strconv.Atoi(linkRef); err == nil {
+			for i, link := range rt.Links {
+				if link.Edge == edge {
+					linkIdx = i
+					break
+				}
+			}
+		}
+	}
+	if linkIdx < 0 {
+		return nil, fmt.Errorf("flight: run %q has no link %q (names like %q, or an edge ID)",
+			run, linkRef, exampleLinkName(rt))
+	}
+	for i := range l.Frames {
+		fr := &l.Frames[i]
+		if fr.Run != run || fr.Policy != policy || fr.Round != round {
+			continue
+		}
+		for j := range fr.Links {
+			if fr.Links[j].LinkIndex == linkIdx {
+				return &Explanation{
+					Run:    run,
+					Policy: policy,
+					Round:  round,
+					Link:   rt.Links[linkIdx],
+					Rec:    fr.Links[j],
+					Ladder: rt.Ladder,
+				}, nil
+			}
+		}
+		return nil, fmt.Errorf("flight: frame (policy %q, round %d) has no record for link %q", policy, round, linkRef)
+	}
+	return nil, fmt.Errorf("flight: no frame for run %q, policy %q, round %d", run, policy, round)
+}
+
+func exampleLinkName(rt *Run) string {
+	if len(rt.Links) == 0 {
+		return "?"
+	}
+	return rt.Links[0].Name
+}
+
+// tierRungs finds the ladder rung matching the recorded tier and the
+// next rung above it (nil when absent / tier 0 / no ladder recorded).
+func (e *Explanation) tierRungs() (cur, next *LadderRung) {
+	for i := range e.Ladder {
+		r := &e.Ladder[i]
+		if r.Gbps == e.Rec.TierGbps { //nolint:nofloateq // ladder rungs are exact recorded constants
+			cur = r
+		} else if e.Rec.SNRdB < r.MinSNRdB && (next == nil || r.MinSNRdB < next.MinSNRdB) {
+			next = r
+		}
+	}
+	return cur, next
+}
+
+// Format renders the chain as aligned text for the terminal.
+func (e *Explanation) Format() string {
+	var b strings.Builder
+	runLabel := e.Run
+	if runLabel == "" {
+		runLabel = "(default)"
+	}
+	fmt.Fprintf(&b, "link %s (edge %d, fiber %d) · run %s · policy %s · round %d\n",
+		e.Link.Name, e.Link.Edge, e.Link.Fiber, runLabel, e.Policy, e.Round)
+
+	r := e.Rec
+	fmt.Fprintf(&b, "  1. SNR sample          %.*f dB (binding wavelength across the fiber)\n", 2, r.SNRdB)
+
+	cur, next := e.tierRungs()
+	tier := fmt.Sprintf("tier %g Gbps per wavelength", r.TierGbps)
+	if r.TierGbps == 0 {
+		tier = "below the lowest rung — wavelength dark"
+	} else if cur != nil {
+		tier += fmt.Sprintf(" (threshold %g dB", cur.MinSNRdB)
+		if cur.Format != "" {
+			tier += ", " + cur.Format
+		}
+		tier += ")"
+	}
+	if next != nil {
+		tier += fmt.Sprintf("; next rung %g Gbps needs %g dB", next.Gbps, next.MinSNRdB)
+	}
+	fmt.Fprintf(&b, "  2. modulation lookup   %s; link feasible %g Gbps\n", tier, r.FeasibleGbps)
+
+	if r.Fake {
+		fmt.Fprintf(&b, "  3. fake edge [§3.2]    offered ⟨%g Gbps headroom, penalty %g⟩\n", r.FakeCapGbps, r.FakePenalty)
+		if r.FakeFlowGbps > 0 {
+			fmt.Fprintf(&b, "  4. solver selection    routed %.3f Gbps over the fake edge, residual %.3f Gbps [Thm 1]\n",
+				r.FakeFlowGbps, r.ResidualGbps)
+		} else {
+			fmt.Fprintf(&b, "  4. solver selection    no flow on the fake edge — headroom not worth the penalty\n")
+		}
+	} else {
+		fmt.Fprintf(&b, "  3. fake edge [§3.2]    none offered (no qualified headroom above configured)\n")
+		fmt.Fprintf(&b, "  4. solver selection    n/a — nothing to select\n")
+	}
+
+	fmt.Fprintf(&b, "  5. decision gate       verdict %s\n", r.Verdict)
+	fmt.Fprintf(&b, "  6. applied capacity    %g Gbps (link flow %.3f Gbps)\n", r.CapacityGbps, r.FlowGbps)
+	return b.String()
+}

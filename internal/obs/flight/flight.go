@@ -1,0 +1,476 @@
+// Package flight implements a deterministic flight recorder for the
+// capacity-decision pipeline: one compact record per simulation round
+// capturing, for every link, the full causal chain of Theorem 1 (§4) —
+// SNR sample → modulation tier → fake-edge offer ⟨capacity, penalty⟩
+// (§3.2) → solver selection → decision gate → applied capacity — plus
+// aggregate flow and a canonical FNV-64 state hash.
+//
+// The recorder streams to a length-prefixed binary log (see log.go)
+// with a JSONL export mode; cmd/rwc-replay replays, explains, and
+// bisects the logs. Per-link labeled metric series
+// (wan_link_snr_db{link=...}, wan_link_capacity_gbps{link=...}) are
+// emitted into a recorder-owned registry gated behind a cardinality
+// budget, mirroring obs/serve's server-owned registry: nothing the
+// recorder does ever touches the run's own metrics/trace/manifest, so
+// runs with and without a recorder produce byte-identical artifacts.
+//
+// Everything is keyed on simulation state only — no wall clock, no
+// map-iteration ordering — so same-seed runs produce byte-identical
+// flight logs regardless of -workers.
+package flight
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// DefaultMaxLinks is the labeled-series cardinality budget when
+// Options.MaxLinks is 0: enough for every backbone topology in this
+// repo while keeping a hostile or degenerate topology from exploding
+// the registry.
+const DefaultMaxLinks = 256
+
+// DefaultRing is the ring-buffer depth served on /flightz when
+// Options.Ring is 0.
+const DefaultRing = 64
+
+// Verdict classifies the decision-gate outcome for one link in one
+// round. The first five arise in the wan simulator's round loop; the
+// remainder mirror internal/controller's richer gates so controller
+// consumers can record through the same type.
+type Verdict uint8
+
+const (
+	// VerdictSteady: no headroom offered and no change.
+	VerdictSteady Verdict = iota
+	// VerdictDark: the link carried zero capacity this round.
+	VerdictDark
+	// VerdictForcedDowngrade: SNR forced a flap down (§2.2).
+	VerdictForcedDowngrade
+	// VerdictUpgrade: the solver selected the fake edge and the upgrade
+	// was applied (Theorem 1's implicit decision, made explicit).
+	VerdictUpgrade
+	// VerdictHeadroomIdle: a fake edge was offered but the solver
+	// routed no flow over it — headroom not worth the penalty.
+	VerdictHeadroomIdle
+	// VerdictHysteresisHold: headroom exists but the hysteresis hold
+	// count has not yet qualified it (controller gate).
+	VerdictHysteresisHold
+	// VerdictBudgetDropped: selected by the solver, dropped by the
+	// per-round change budget (controller gate).
+	VerdictBudgetDropped
+	// VerdictPinned: §4.2(i) pinned traffic excludes the link.
+	VerdictPinned
+
+	verdictCount // number of defined verdicts (decode bound)
+)
+
+// String names the verdict for explain output and JSONL export.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSteady:
+		return "steady"
+	case VerdictDark:
+		return "dark"
+	case VerdictForcedDowngrade:
+		return "forced-downgrade"
+	case VerdictUpgrade:
+		return "upgrade"
+	case VerdictHeadroomIdle:
+		return "headroom-idle"
+	case VerdictHysteresisHold:
+		return "hysteresis-hold"
+	case VerdictBudgetDropped:
+		return "budget-dropped"
+	case VerdictPinned:
+		return "pinned"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Link is one entry of a run's link table: a directed physical edge.
+type Link struct {
+	// Edge is the edge ID in the run's topology.
+	Edge int `json:"edge"`
+	// Name is the human-readable link name ("SEA->DEN").
+	Name string `json:"name"`
+	// Fiber is the fiber index the edge rides (both directions of an
+	// adjacency share a fiber and therefore an SNR process).
+	Fiber int `json:"fiber"`
+}
+
+// LadderRung is one modulation rung, recorded per run so explain can
+// show the table lookup (threshold → tier) without the ladder object.
+type LadderRung struct {
+	Gbps     float64 `json:"gbps"`
+	MinSNRdB float64 `json:"min_snr_db"`
+	Format   string  `json:"format,omitempty"`
+}
+
+// LinkRecord is the per-link slice of one round record — the six-step
+// causal chain in data form.
+type LinkRecord struct {
+	// LinkIndex indexes the run's link table.
+	LinkIndex int
+	// SNRdB is the binding (minimum) SNR across the fiber's wavelengths
+	// this round — the sample that constrains the link.
+	SNRdB float64
+	// TierGbps is the modulation-table lookup for SNRdB: the feasible
+	// per-wavelength capacity of the binding wavelength (0 = below the
+	// lowest rung).
+	TierGbps float64
+	// FeasibleGbps is the summed feasible capacity across the link's
+	// wavelengths — the physical ceiling this round.
+	FeasibleGbps float64
+	// CapacityGbps is the configured capacity after this round's
+	// decisions were applied.
+	CapacityGbps float64
+	// Fake reports whether a fake edge was offered to the solver.
+	Fake bool
+	// FakeCapGbps and FakePenalty are the offered ⟨capacity, penalty⟩
+	// pair (§3.2): upgrade headroom and per-unit activation cost.
+	FakeCapGbps, FakePenalty float64
+	// FlowGbps is the total flow the solver put on the link (real +
+	// fake components, translated to the physical edge).
+	FlowGbps float64
+	// FakeFlowGbps is the portion routed over the fake edge — positive
+	// means the solver selected the upgrade.
+	FakeFlowGbps float64
+	// ResidualGbps is the fake capacity the solver left unused.
+	ResidualGbps float64
+	// Verdict is the decision-gate outcome.
+	Verdict Verdict
+}
+
+// RoundRecord is one frame of the flight log: everything the decision
+// pipeline saw and did in one round of one policy run.
+type RoundRecord struct {
+	// Run distinguishes concurrent simulations sharing a recorder
+	// (rwc-experiments records one run per figure); "" for single-run
+	// tools.
+	Run string
+	// Policy is the capacity policy the frame belongs to.
+	Policy string
+	// Round is the 0-based round index.
+	Round int
+	// OfferedGbps, ShippedGbps, CapacityGbps are the round aggregates
+	// (demand offered, flow shipped, total configured capacity).
+	OfferedGbps, ShippedGbps, CapacityGbps float64
+	// Changes counts capacity changes applied this round.
+	Changes int
+	// Hash is the canonical FNV-64a digest of this frame (aggregates +
+	// every link record); filled by Record, verified by replay.
+	Hash uint64
+	// Links holds one record per link-table entry, in table order.
+	Links []LinkRecord
+}
+
+// hashRecord computes the canonical digest of a frame. Everything that
+// describes simulation state is folded in; the stored Hash itself is
+// not.
+func hashRecord(rec *RoundRecord) uint64 {
+	h := obs.NewHash64()
+	h.WriteString(rec.Run)
+	h.WriteString(rec.Policy)
+	h.WriteInt(rec.Round)
+	h.WriteFloat64(rec.OfferedGbps)
+	h.WriteFloat64(rec.ShippedGbps)
+	h.WriteFloat64(rec.CapacityGbps)
+	h.WriteInt(rec.Changes)
+	h.WriteInt(len(rec.Links))
+	for i := range rec.Links {
+		l := &rec.Links[i]
+		h.WriteInt(l.LinkIndex)
+		h.WriteFloat64(l.SNRdB)
+		h.WriteFloat64(l.TierGbps)
+		h.WriteFloat64(l.FeasibleGbps)
+		h.WriteFloat64(l.CapacityGbps)
+		h.WriteBool(l.Fake)
+		h.WriteFloat64(l.FakeCapGbps)
+		h.WriteFloat64(l.FakePenalty)
+		h.WriteFloat64(l.FlowGbps)
+		h.WriteFloat64(l.FakeFlowGbps)
+		h.WriteFloat64(l.ResidualGbps)
+		h.WriteUint64(uint64(l.Verdict))
+	}
+	return h.Sum64()
+}
+
+// Options tunes a Recorder.
+type Options struct {
+	// MaxLinks is the labeled-series cardinality budget per run: only
+	// the first MaxLinks links (link-table order) get
+	// wan_link_snr_db/wan_link_capacity_gbps series; the rest are
+	// counted into obs_flight_links_dropped_total instead of exploding
+	// the registry. 0 means DefaultMaxLinks; negative means 0.
+	MaxLinks int
+	// Ring is the recent-frame ring depth served on /flightz.
+	// 0 means DefaultRing.
+	Ring int
+}
+
+// runState is the per-run bookkeeping behind Bind.
+type runState struct {
+	links    []Link
+	ladder   []LadderRung
+	admitted int // links[:admitted] get labeled series
+}
+
+// Recorder captures round records. All methods are safe for concurrent
+// use (policy runs record concurrently under -workers) and nil-safe,
+// so a disabled recorder costs one nil check.
+//
+// The recorder owns its metrics registry: live scrapes see labeled
+// per-link series as frames arrive, but the registry embedded in the
+// log trailer is rebuilt deterministically from sorted frames, so the
+// log is byte-identical however the scheduler interleaved Record calls.
+type Recorder struct {
+	mu     sync.Mutex
+	opt    Options
+	runs   map[string]*runState
+	frames []RoundRecord
+	ring   []RoundRecord
+	ringAt int
+	reg    *obs.Registry
+}
+
+// New builds a Recorder.
+func New(opt Options) *Recorder {
+	if opt.MaxLinks == 0 {
+		opt.MaxLinks = DefaultMaxLinks
+	}
+	if opt.MaxLinks < 0 {
+		opt.MaxLinks = 0
+	}
+	if opt.Ring <= 0 {
+		opt.Ring = DefaultRing
+	}
+	return &Recorder{
+		opt:  opt,
+		runs: make(map[string]*runState),
+		reg:  obs.NewRegistry(),
+	}
+}
+
+// Bind registers a run's link table and modulation ladder before its
+// first Record. The cardinality budget is decided here, in link-table
+// order, so admission never depends on which policy records first.
+// Re-binding the same run is a no-op if the table matches and an error
+// if it does not.
+func (r *Recorder) Bind(run string, links []Link, ladder []LadderRung) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.runs[run]; ok {
+		if len(prev.links) != len(links) {
+			return fmt.Errorf("flight: run %q re-bound with %d links (was %d)", run, len(links), len(prev.links))
+		}
+		for i := range links {
+			if prev.links[i] != links[i] {
+				return fmt.Errorf("flight: run %q re-bound with different link %d (%q vs %q)",
+					run, i, links[i].Name, prev.links[i].Name)
+			}
+		}
+		return nil
+	}
+	st := &runState{
+		links:    append([]Link(nil), links...),
+		ladder:   append([]LadderRung(nil), ladder...),
+		admitted: len(links),
+	}
+	if st.admitted > r.opt.MaxLinks {
+		st.admitted = r.opt.MaxLinks
+	}
+	r.runs[run] = st
+	if dropped := len(links) - st.admitted; dropped > 0 {
+		r.droppedCounter(r.reg).Add(float64(dropped))
+	}
+	return nil
+}
+
+func (r *Recorder) droppedCounter(reg *obs.Registry) *obs.Counter {
+	return reg.Counter("obs_flight_links_dropped_total",
+		"Links denied labeled flight series by the cardinality budget (-flight-links).")
+}
+
+func (r *Recorder) framesCounter(reg *obs.Registry) *obs.Counter {
+	return reg.Counter("obs_flight_frames_total",
+		"Round records captured by the flight recorder.")
+}
+
+// Record captures one frame. The frame's Hash is (re)computed here so
+// every stored frame carries the canonical digest. The run must have
+// been bound; frames for unbound runs are dropped (counted as dropped
+// links would be — loudly, in the recorder's own registry).
+func (r *Recorder) Record(rec RoundRecord) {
+	if r == nil {
+		return
+	}
+	rec.Hash = hashRecord(&rec)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.runs[rec.Run]
+	if st == nil {
+		r.reg.Counter("obs_flight_unbound_frames_total",
+			"Frames recorded for runs never bound to the recorder (dropped).").Inc()
+		return
+	}
+	r.frames = append(r.frames, rec)
+	r.framesCounter(r.reg).Inc()
+	r.emitSeries(r.reg, st, &rec)
+	if len(r.ring) < r.opt.Ring {
+		r.ring = append(r.ring, rec)
+	} else {
+		r.ring[r.ringAt] = rec
+	}
+	r.ringAt = (r.ringAt + 1) % r.opt.Ring
+}
+
+// emitSeries writes the per-link labeled gauges for one frame into
+// reg, honoring the run's admission decision.
+func (r *Recorder) emitSeries(reg *obs.Registry, st *runState, rec *RoundRecord) {
+	for i := range rec.Links {
+		l := &rec.Links[i]
+		if l.LinkIndex < 0 || l.LinkIndex >= len(st.links) || l.LinkIndex >= st.admitted {
+			continue
+		}
+		labels := []obs.Label{
+			obs.L("link", st.links[l.LinkIndex].Name),
+			obs.L("policy", rec.Policy),
+		}
+		if rec.Run != "" {
+			labels = append(labels, obs.L("run", rec.Run))
+		}
+		reg.Gauge("wan_link_snr_db",
+			"Binding (minimum) SNR across the link's wavelengths this round.",
+			labels...).Set(l.SNRdB)
+		reg.Gauge("wan_link_capacity_gbps",
+			"Configured link capacity after this round's decisions.",
+			labels...).Set(l.CapacityGbps)
+	}
+}
+
+// Registry exposes the recorder-owned labeled series for live serving
+// (obs/serve appends it to /metrics). Never merge it into a run's own
+// registry: run artifacts must not depend on whether a recorder was
+// attached.
+func (r *Recorder) Registry() *obs.Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// sortFrames orders frames canonically: run, then policy, then round.
+func sortFrames(frames []RoundRecord) {
+	sort.SliceStable(frames, func(i, j int) bool {
+		a, b := &frames[i], &frames[j]
+		if a.Run != b.Run {
+			return a.Run < b.Run
+		}
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		return a.Round < b.Round
+	})
+}
+
+// Frames returns a canonically sorted copy of every captured frame.
+func (r *Recorder) Frames() []RoundRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]RoundRecord(nil), r.frames...)
+	r.mu.Unlock()
+	sortFrames(out)
+	return out
+}
+
+// Recent returns up to n of the most recently captured frames, oldest
+// first — the /flightz ring view. Capture order, not canonical order:
+// this is the live debugging window.
+func (r *Recorder) Recent(n int) []RoundRecord {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > len(r.ring) {
+		n = len(r.ring)
+	}
+	out := make([]RoundRecord, 0, n)
+	// ringAt points at the oldest entry once the ring has wrapped.
+	start := 0
+	if len(r.ring) == r.opt.Ring {
+		start = r.ringAt
+	}
+	for i := 0; i < len(r.ring); i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	if len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Runs returns the bound run names, sorted, with their link tables.
+func (r *Recorder) Runs() []Run {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.runs))
+	for name := range r.runs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Run, 0, len(names))
+	for _, name := range names {
+		st := r.runs[name]
+		out = append(out, Run{
+			Name:     name,
+			Links:    append([]Link(nil), st.links...),
+			Ladder:   append([]LadderRung(nil), st.ladder...),
+			Admitted: st.admitted,
+		})
+	}
+	return out
+}
+
+// rebuildSeries renders the deterministic registry embedded in the log
+// trailer: identical to replaying emitSeries over canonically sorted
+// frames, so the last write per gauge is the last round of the last
+// policy — independent of runtime interleaving.
+func (r *Recorder) rebuildSeries(frames []RoundRecord) *obs.Registry {
+	reg := obs.NewRegistry()
+	r.mu.Lock()
+	var dropped int
+	for _, st := range r.runs {
+		dropped += len(st.links) - st.admitted
+	}
+	runs := make(map[string]*runState, len(r.runs))
+	for name, st := range r.runs {
+		runs[name] = st
+	}
+	r.mu.Unlock()
+	if dropped > 0 {
+		r.droppedCounter(reg).Add(float64(dropped))
+	}
+	if len(frames) > 0 {
+		r.framesCounter(reg).Add(float64(len(frames)))
+	}
+	for i := range frames {
+		if st := runs[frames[i].Run]; st != nil {
+			r.emitSeries(reg, st, &frames[i])
+		}
+	}
+	return reg
+}

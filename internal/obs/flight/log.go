@@ -1,0 +1,551 @@
+package flight
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/obs"
+)
+
+// This file implements the flight-log wire format: a magic string
+// followed by length-prefixed sections, each a 1-byte type tag plus a
+// uvarint payload length.
+//
+//	"RWCFLT1\n"
+//	'H' header  JSON   (version, tool, seed, max_links)
+//	'R' run     JSON   (one per bound run, sorted by name)
+//	'F' frame   binary (one per round record, canonical order)
+//	'T' trailer JSON   (registry dumps + canonical trace lines)
+//
+// Frames are fixed little-endian scalars with uvarint counts — compact
+// enough to stream every round, self-describing enough that a reader
+// never needs the producing binary. Unknown section types are an
+// error: the version byte in the magic is the compatibility gate.
+
+// Magic identifies a flight log (8 bytes, version baked in).
+const Magic = "RWCFLT1\n"
+
+// section type tags.
+const (
+	secHeader  = 'H'
+	secRun     = 'R'
+	secFrame   = 'F'
+	secTrailer = 'T'
+)
+
+// maxSectionLen caps one section's payload so a corrupt length prefix
+// cannot force a huge allocation.
+const maxSectionLen = 1 << 28 // 256 MiB
+
+// Meta identifies the producing run in the log header.
+type Meta struct {
+	Tool string `json:"tool,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+}
+
+// header is the 'H' section payload.
+type header struct {
+	Version  int    `json:"version"`
+	Tool     string `json:"tool,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	MaxLinks int    `json:"max_links"`
+}
+
+// Run is the 'R' section payload: one bound run's link table.
+type Run struct {
+	Name     string       `json:"name"`
+	Links    []Link       `json:"links"`
+	Ladder   []LadderRung `json:"ladder,omitempty"`
+	Admitted int          `json:"admitted"`
+}
+
+// Trailer is the 'T' section payload: everything replay needs to
+// re-render the original run's artifacts byte-for-byte.
+type Trailer struct {
+	// Metrics is the run's own registry (the -metrics-out content).
+	Metrics obs.RegistryDump `json:"metrics,omitempty"`
+	// Series is the recorder's labeled-series registry, rebuilt
+	// deterministically from sorted frames.
+	Series obs.RegistryDump `json:"series,omitempty"`
+	// Trace holds the run's trace events as canonical JSON lines (the
+	// -trace-out content, one entry per line).
+	Trace []json.RawMessage `json:"trace,omitempty"`
+}
+
+// Log is a fully decoded flight log.
+type Log struct {
+	Meta     Meta
+	MaxLinks int
+	Runs     []Run
+	// Frames are canonically sorted (run, policy, round).
+	Frames  []RoundRecord
+	Trailer Trailer
+}
+
+// WriteLog streams the recorder's state as a flight log. o supplies
+// the run's own metrics registry and trace for the trailer; nil (or an
+// obs bundle without those sinks) embeds empty trailer sections, which
+// replay reports as "not recorded" rather than rendering empty files.
+func (r *Recorder) WriteLog(w io.Writer, meta Meta, o *obs.Obs) error {
+	if r == nil {
+		return fmt.Errorf("flight: nil recorder")
+	}
+	frames := r.Frames()
+	if _, err := io.WriteString(w, Magic); err != nil {
+		return err
+	}
+	h := header{Version: 1, Tool: meta.Tool, Seed: meta.Seed, MaxLinks: r.opt.MaxLinks}
+	if err := writeJSONSection(w, secHeader, h); err != nil {
+		return err
+	}
+	for _, run := range r.Runs() {
+		if err := writeJSONSection(w, secRun, run); err != nil {
+			return err
+		}
+	}
+	runIndex := make(map[string]int)
+	for i, run := range r.Runs() {
+		runIndex[run.Name] = i
+	}
+	for i := range frames {
+		idx, ok := runIndex[frames[i].Run]
+		if !ok {
+			return fmt.Errorf("flight: frame for unbound run %q", frames[i].Run)
+		}
+		if err := writeSection(w, secFrame, encodeFrame(nil, idx, &frames[i])); err != nil {
+			return err
+		}
+	}
+	tr := Trailer{Series: r.rebuildSeries(frames).Export()}
+	if o != nil {
+		tr.Metrics = o.Metrics.Export()
+		if o.Trace != nil {
+			for _, ev := range o.Trace.Events() {
+				line, err := obs.MarshalEvent(ev)
+				if err != nil {
+					return fmt.Errorf("flight: marshal trace event: %w", err)
+				}
+				tr.Trace = append(tr.Trace, json.RawMessage(line))
+			}
+		}
+	}
+	return writeJSONSection(w, secTrailer, tr)
+}
+
+func writeJSONSection(w io.Writer, tag byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeSection(w, tag, payload)
+}
+
+func writeSection(w io.Writer, tag byte, payload []byte) error {
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = tag
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:1+n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// encodeFrame appends one frame's binary payload to b.
+func encodeFrame(b []byte, runIdx int, rec *RoundRecord) []byte {
+	b = binary.AppendUvarint(b, uint64(runIdx))
+	b = binary.AppendUvarint(b, uint64(len(rec.Policy)))
+	b = append(b, rec.Policy...)
+	b = binary.AppendUvarint(b, uint64(rec.Round))
+	b = appendF64(b, rec.OfferedGbps)
+	b = appendF64(b, rec.ShippedGbps)
+	b = appendF64(b, rec.CapacityGbps)
+	b = binary.AppendUvarint(b, uint64(rec.Changes))
+	b = binary.LittleEndian.AppendUint64(b, rec.Hash)
+	b = binary.AppendUvarint(b, uint64(len(rec.Links)))
+	for i := range rec.Links {
+		l := &rec.Links[i]
+		b = binary.AppendUvarint(b, uint64(l.LinkIndex))
+		b = appendF64(b, l.SNRdB)
+		b = appendF64(b, l.TierGbps)
+		b = appendF64(b, l.FeasibleGbps)
+		b = appendF64(b, l.CapacityGbps)
+		if l.Fake {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendF64(b, l.FakeCapGbps)
+		b = appendF64(b, l.FakePenalty)
+		b = appendF64(b, l.FlowGbps)
+		b = appendF64(b, l.FakeFlowGbps)
+		b = appendF64(b, l.ResidualGbps)
+		b = append(b, byte(l.Verdict))
+	}
+	return b
+}
+
+func appendF64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// frameReader walks one frame payload.
+type frameReader struct {
+	b   []byte
+	off int
+}
+
+func (fr *frameReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(fr.b[fr.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("flight: truncated uvarint at offset %d", fr.off)
+	}
+	fr.off += n
+	return v, nil
+}
+
+func (fr *frameReader) f64() (float64, error) {
+	if fr.off+8 > len(fr.b) {
+		return 0, fmt.Errorf("flight: truncated float at offset %d", fr.off)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(fr.b[fr.off:]))
+	fr.off += 8
+	return v, nil
+}
+
+func (fr *frameReader) u64() (uint64, error) {
+	if fr.off+8 > len(fr.b) {
+		return 0, fmt.Errorf("flight: truncated uint64 at offset %d", fr.off)
+	}
+	v := binary.LittleEndian.Uint64(fr.b[fr.off:])
+	fr.off += 8
+	return v, nil
+}
+
+func (fr *frameReader) byte() (byte, error) {
+	if fr.off >= len(fr.b) {
+		return 0, fmt.Errorf("flight: truncated byte at offset %d", fr.off)
+	}
+	v := fr.b[fr.off]
+	fr.off++
+	return v, nil
+}
+
+func (fr *frameReader) str(n uint64) (string, error) {
+	if uint64(len(fr.b)-fr.off) < n {
+		return "", fmt.Errorf("flight: truncated string at offset %d", fr.off)
+	}
+	s := string(fr.b[fr.off : fr.off+int(n)])
+	fr.off += int(n)
+	return s, nil
+}
+
+// decodeFrame parses one frame payload; runs resolves run indices.
+func decodeFrame(payload []byte, runs []Run) (RoundRecord, error) {
+	fr := &frameReader{b: payload}
+	var rec RoundRecord
+	runIdx, err := fr.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if runIdx >= uint64(len(runs)) {
+		return rec, fmt.Errorf("flight: frame references run %d of %d", runIdx, len(runs))
+	}
+	rec.Run = runs[runIdx].Name
+	plen, err := fr.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if rec.Policy, err = fr.str(plen); err != nil {
+		return rec, err
+	}
+	round, err := fr.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	rec.Round = int(round)
+	if rec.OfferedGbps, err = fr.f64(); err != nil {
+		return rec, err
+	}
+	if rec.ShippedGbps, err = fr.f64(); err != nil {
+		return rec, err
+	}
+	if rec.CapacityGbps, err = fr.f64(); err != nil {
+		return rec, err
+	}
+	changes, err := fr.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	rec.Changes = int(changes)
+	if rec.Hash, err = fr.u64(); err != nil {
+		return rec, err
+	}
+	nLinks, err := fr.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if nLinks > uint64(len(runs[runIdx].Links)) {
+		return rec, fmt.Errorf("flight: frame has %d links, run table has %d", nLinks, len(runs[runIdx].Links))
+	}
+	rec.Links = make([]LinkRecord, nLinks)
+	for i := range rec.Links {
+		l := &rec.Links[i]
+		idx, err := fr.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		l.LinkIndex = int(idx)
+		if l.SNRdB, err = fr.f64(); err != nil {
+			return rec, err
+		}
+		if l.TierGbps, err = fr.f64(); err != nil {
+			return rec, err
+		}
+		if l.FeasibleGbps, err = fr.f64(); err != nil {
+			return rec, err
+		}
+		if l.CapacityGbps, err = fr.f64(); err != nil {
+			return rec, err
+		}
+		fake, err := fr.byte()
+		if err != nil {
+			return rec, err
+		}
+		l.Fake = fake != 0
+		if l.FakeCapGbps, err = fr.f64(); err != nil {
+			return rec, err
+		}
+		if l.FakePenalty, err = fr.f64(); err != nil {
+			return rec, err
+		}
+		if l.FlowGbps, err = fr.f64(); err != nil {
+			return rec, err
+		}
+		if l.FakeFlowGbps, err = fr.f64(); err != nil {
+			return rec, err
+		}
+		if l.ResidualGbps, err = fr.f64(); err != nil {
+			return rec, err
+		}
+		verdict, err := fr.byte()
+		if err != nil {
+			return rec, err
+		}
+		if verdict >= byte(verdictCount) {
+			return rec, fmt.Errorf("flight: unknown verdict %d", verdict)
+		}
+		l.Verdict = Verdict(verdict)
+	}
+	if fr.off != len(payload) {
+		return rec, fmt.Errorf("flight: %d trailing bytes in frame", len(payload)-fr.off)
+	}
+	return rec, nil
+}
+
+// ReadLog decodes a flight log. It fails loudly on truncation, unknown
+// sections, or structural inconsistencies; use VerifyHashes to also
+// check the per-frame digests.
+func ReadLog(r io.Reader) (*Log, error) {
+	br := newByteReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("flight: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("flight: bad magic %q (want %q)", magic, Magic)
+	}
+	log := &Log{}
+	sawHeader, sawTrailer := false, false
+	for {
+		tag, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("flight: reading section length: %w", err)
+		}
+		if n > maxSectionLen {
+			return nil, fmt.Errorf("flight: section of %d bytes exceeds limit", n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("flight: truncated section %q: %w", tag, err)
+		}
+		switch tag {
+		case secHeader:
+			var h header
+			if err := json.Unmarshal(payload, &h); err != nil {
+				return nil, fmt.Errorf("flight: header: %w", err)
+			}
+			if h.Version != 1 {
+				return nil, fmt.Errorf("flight: unsupported log version %d", h.Version)
+			}
+			log.Meta = Meta{Tool: h.Tool, Seed: h.Seed}
+			log.MaxLinks = h.MaxLinks
+			sawHeader = true
+		case secRun:
+			var run Run
+			if err := json.Unmarshal(payload, &run); err != nil {
+				return nil, fmt.Errorf("flight: run table: %w", err)
+			}
+			log.Runs = append(log.Runs, run)
+		case secFrame:
+			rec, err := decodeFrame(payload, log.Runs)
+			if err != nil {
+				return nil, err
+			}
+			log.Frames = append(log.Frames, rec)
+		case secTrailer:
+			if err := json.Unmarshal(payload, &log.Trailer); err != nil {
+				return nil, fmt.Errorf("flight: trailer: %w", err)
+			}
+			sawTrailer = true
+		default:
+			return nil, fmt.Errorf("flight: unknown section type %q", tag)
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("flight: log has no header section")
+	}
+	if !sawTrailer {
+		return nil, fmt.Errorf("flight: log has no trailer section (truncated write?)")
+	}
+	sortFrames(log.Frames)
+	return log, nil
+}
+
+// byteReader adapts any reader for binary.ReadUvarint without double
+// buffering the common *os.File case.
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func newByteReader(r io.Reader) *byteReader { return &byteReader{r: r} }
+
+func (b *byteReader) Read(p []byte) (int, error) { return io.ReadFull(b.r, p) }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}
+
+// VerifyHashes recomputes every frame's canonical digest and reports
+// the first mismatch — a corrupt or hand-edited log.
+func (l *Log) VerifyHashes() error {
+	for i := range l.Frames {
+		rec := l.Frames[i]
+		want := rec.Hash
+		if got := hashRecord(&rec); got != want {
+			return fmt.Errorf("flight: frame (run %q, policy %q, round %d) hash %016x, recomputed %016x",
+				rec.Run, rec.Policy, rec.Round, want, got)
+		}
+	}
+	return nil
+}
+
+// run returns the run table entry for a name.
+func (l *Log) run(name string) (*Run, error) {
+	for i := range l.Runs {
+		if l.Runs[i].Name == name {
+			return &l.Runs[i], nil
+		}
+	}
+	return nil, fmt.Errorf("flight: log has no run %q", name)
+}
+
+// linkJSON is the JSONL rendering of one LinkRecord, names resolved.
+type linkJSON struct {
+	Link         string  `json:"link"`
+	Edge         int     `json:"edge"`
+	SNRdB        float64 `json:"snr_db"`
+	TierGbps     float64 `json:"tier_gbps"`
+	FeasibleGbps float64 `json:"feasible_gbps"`
+	CapacityGbps float64 `json:"capacity_gbps"`
+	Fake         bool    `json:"fake,omitempty"`
+	FakeCapGbps  float64 `json:"fake_cap_gbps,omitempty"`
+	FakePenalty  float64 `json:"fake_penalty,omitempty"`
+	FlowGbps     float64 `json:"flow_gbps"`
+	FakeFlowGbps float64 `json:"fake_flow_gbps,omitempty"`
+	ResidualGbps float64 `json:"residual_gbps,omitempty"`
+	Verdict      string  `json:"verdict"`
+}
+
+// frameJSON is the JSONL rendering of one RoundRecord.
+type frameJSON struct {
+	Run          string     `json:"run,omitempty"`
+	Policy       string     `json:"policy"`
+	Round        int        `json:"round"`
+	OfferedGbps  float64    `json:"offered_gbps"`
+	ShippedGbps  float64    `json:"shipped_gbps"`
+	CapacityGbps float64    `json:"capacity_gbps"`
+	Changes      int        `json:"changes"`
+	Hash         string     `json:"hash"`
+	Links        []linkJSON `json:"links"`
+}
+
+// WriteJSONL renders the log's frames as one JSON object per line —
+// the export mode for jq/pandas consumers. Link names are resolved
+// from the run tables and hashes rendered as fixed-width hex.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	for i := range l.Frames {
+		rec := &l.Frames[i]
+		run, err := l.run(rec.Run)
+		if err != nil {
+			return err
+		}
+		fj := frameJSON{
+			Run:          rec.Run,
+			Policy:       rec.Policy,
+			Round:        rec.Round,
+			OfferedGbps:  rec.OfferedGbps,
+			ShippedGbps:  rec.ShippedGbps,
+			CapacityGbps: rec.CapacityGbps,
+			Changes:      rec.Changes,
+			Hash:         fmt.Sprintf("%016x", rec.Hash),
+			Links:        make([]linkJSON, 0, len(rec.Links)),
+		}
+		for j := range rec.Links {
+			lr := &rec.Links[j]
+			name := fmt.Sprintf("link#%d", lr.LinkIndex)
+			edge := -1
+			if lr.LinkIndex >= 0 && lr.LinkIndex < len(run.Links) {
+				name = run.Links[lr.LinkIndex].Name
+				edge = run.Links[lr.LinkIndex].Edge
+			}
+			fj.Links = append(fj.Links, linkJSON{
+				Link:         name,
+				Edge:         edge,
+				SNRdB:        lr.SNRdB,
+				TierGbps:     lr.TierGbps,
+				FeasibleGbps: lr.FeasibleGbps,
+				CapacityGbps: lr.CapacityGbps,
+				Fake:         lr.Fake,
+				FakeCapGbps:  lr.FakeCapGbps,
+				FakePenalty:  lr.FakePenalty,
+				FlowGbps:     lr.FlowGbps,
+				FakeFlowGbps: lr.FakeFlowGbps,
+				ResidualGbps: lr.ResidualGbps,
+				Verdict:      lr.Verdict.String(),
+			})
+		}
+		line, err := json.Marshal(fj)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // Options configures a Server.
@@ -41,6 +42,13 @@ type Options struct {
 	// Tool and Seed identify the run on /runz.
 	Tool string
 	Seed uint64
+	// Flight is the run's flight recorder (nil when recording is off).
+	// /flightz serves its run tables and most recent frames, and
+	// /metrics appends its recorder-owned labeled link series
+	// (wan_link_snr_db{link=...} and friends) after the app and server
+	// registries. Like server bookkeeping, those series never enter run
+	// artifacts — the flight log carries its own deterministic copy.
+	Flight *flight.Recorder
 	// SSEBuffer is the per-client event channel depth (default 256).
 	// When a client cannot keep up, the newest events are dropped for
 	// that client — never buffered unboundedly, never blocking the
@@ -78,6 +86,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/runz", s.handleRunz)
 	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/flightz", s.handleFlightz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -153,6 +162,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return // client went away mid-write; nothing to clean up
 	}
 	_ = s.reg.WritePrometheus(w)
+	// The flight recorder's labeled per-link series ride the same
+	// scrape; its family names (wan_link_*, obs_flight_*) are disjoint
+	// from both registries above.
+	if s.opts.Flight != nil {
+		_ = s.opts.Flight.Registry().WritePrometheus(w)
+	}
 	// Counted after rendering so a scrape reports the scrapes that
 	// completed before it.
 	s.scrapes.Inc()
@@ -201,6 +216,28 @@ func (s *Server) handleRunz(w http.ResponseWriter, r *http.Request) {
 			info.MetricSeries = len(o.Metrics.Snapshot())
 		}
 	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(info)
+}
+
+// flightzJSON is the /flightz response: the bound run tables plus the
+// most recent frames from the recorder's ring, newest last.
+type flightzJSON struct {
+	Runs   []flight.Run         `json:"runs"`
+	Recent []flight.RoundRecord `json:"recent"`
+}
+
+// handleFlightz serves the flight recorder's live state. Reads come
+// from recorder snapshots, so the handler never blocks recording.
+func (s *Server) handleFlightz(w http.ResponseWriter, r *http.Request) {
+	rec := s.opts.Flight
+	if rec == nil {
+		http.Error(w, "flight recording disabled for this run", http.StatusNotFound)
+		return
+	}
+	info := flightzJSON{Runs: rec.Runs(), Recent: rec.Recent(16)}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,119 @@
+package wan
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/modulation"
+	"repro/internal/obs/flight"
+)
+
+// This file is the bridge between the simulator and the flight
+// recorder (internal/obs/flight). Capture is pure reads of state the
+// round already computed — no RNG draws, no ordering changes — so
+// same-seed runs with and without a recorder produce byte-identical
+// metrics, trace, and manifest artifacts.
+
+// FlightLinks builds the recorder link table for a network: one entry
+// per directed IP adjacency in edge-ID order, named "src->dst".
+func FlightLinks(net *Network) []flight.Link {
+	edges := net.G.Edges()
+	links := make([]flight.Link, len(edges))
+	for i, e := range edges {
+		links[i] = flight.Link{
+			Edge:  int(e.ID),
+			Name:  net.G.NodeName(e.From) + "->" + net.G.NodeName(e.To),
+			Fiber: net.FiberOf[e.ID],
+		}
+	}
+	return links
+}
+
+// FlightLadder exports the modulation ladder as recorder rungs.
+func FlightLadder(l *modulation.Ladder) []flight.LadderRung {
+	modes := l.Modes()
+	rungs := make([]flight.LadderRung, len(modes))
+	for i, m := range modes {
+		rungs[i] = flight.LadderRung{
+			Gbps:     float64(m.Capacity),
+			MinSNRdB: m.MinSNRdB,
+			Format:   m.Format.String(),
+		}
+	}
+	return rungs
+}
+
+// flightRound carries the per-branch state captureFlight needs: how to
+// read each link's applied capacity and flow, and (dynamic policy only)
+// the fake-edge attribution and decision outcomes.
+type flightRound struct {
+	capOn    func(graph.EdgeID) float64
+	flowOn   func(graph.EdgeID) float64
+	att      map[graph.EdgeID]core.FakeAttribution
+	forced   []bool // per-fiber: a wavelength was force-downgraded this round
+	upgraded map[graph.EdgeID]bool
+}
+
+// captureFlight records one frame for (policy, round). No-op without a
+// recorder.
+func (s *Simulation) captureFlight(policy Policy, r int, m RoundMetrics, fr flightRound) {
+	if s.cfg.Flight == nil {
+		return
+	}
+	net := s.cfg.Net
+	edges := net.G.Edges()
+	rec := flight.RoundRecord{
+		Run:          s.cfg.FlightRun,
+		Policy:       policy.String(),
+		Round:        r,
+		OfferedGbps:  m.OfferedGbps,
+		ShippedGbps:  m.ShippedGbps,
+		CapacityGbps: m.CapacityGbps,
+		Changes:      m.Changes,
+		Links:        make([]flight.LinkRecord, len(edges)),
+	}
+	for i, e := range edges {
+		f := net.FiberOf[e.ID]
+		minSNR := s.snrAt[f][0][r]
+		var feasible float64
+		for w := 0; w < net.Wavelengths; w++ {
+			if v := s.snrAt[f][w][r]; v < minSNR {
+				minSNR = v
+			}
+			feasible += float64(s.FeasibleAt(f, w, r))
+		}
+		var tier float64
+		if mode, ok := s.cfg.Ladder.FeasibleCapacity(minSNR); ok {
+			tier = float64(mode.Capacity)
+		}
+		lr := flight.LinkRecord{
+			LinkIndex:    i,
+			SNRdB:        minSNR,
+			TierGbps:     tier,
+			FeasibleGbps: feasible,
+			CapacityGbps: fr.capOn(e.ID),
+			FlowGbps:     fr.flowOn(e.ID),
+		}
+		att, hasFake := fr.att[e.ID]
+		if hasFake {
+			lr.Fake = true
+			lr.FakeCapGbps = att.FakeCapacity
+			lr.FakePenalty = att.FakePenalty
+			lr.FakeFlowGbps = att.FlowOnFake
+			lr.ResidualGbps = att.Residual
+		}
+		switch {
+		case fr.upgraded[e.ID]:
+			lr.Verdict = flight.VerdictUpgrade
+		case len(fr.forced) > f && fr.forced[f]:
+			lr.Verdict = flight.VerdictForcedDowngrade
+		case hasFake && !att.Selected:
+			lr.Verdict = flight.VerdictHeadroomIdle
+		case lr.CapacityGbps == 0: //nolint:nofloateq // sum of integral Gbps rungs; 0 means truly dark
+			lr.Verdict = flight.VerdictDark
+		default:
+			lr.Verdict = flight.VerdictSteady
+		}
+		rec.Links[i] = lr
+	}
+	s.cfg.Flight.Record(rec)
+}

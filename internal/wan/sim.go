@@ -9,6 +9,7 @@ import (
 	"repro/internal/modulation"
 	"repro/internal/obs"
 	"repro/internal/obs/alert"
+	"repro/internal/obs/flight"
 	"repro/internal/par"
 	"repro/internal/qot"
 	"repro/internal/rng"
@@ -95,6 +96,16 @@ type SimConfig struct {
 	// observability is on. Alert events ride the trace with simulation
 	// timestamps, so they inherit the same-seed byte-identity guarantee.
 	Alerts []alert.Rule
+	// Flight receives one frame per (policy, round) with per-link SNR,
+	// modulation tier, fake-edge offer, solver attribution, and verdict
+	// (see internal/obs/flight). Nil disables recording. Capture is
+	// pure reads of state each round already computed, so same-seed
+	// runs with and without a recorder emit byte-identical metrics,
+	// trace, and manifest artifacts.
+	Flight *flight.Recorder
+	// FlightRun labels this simulation's frames and link table inside a
+	// shared recorder; "" is fine for single-simulation tools.
+	FlightRun string
 	// Workers bounds how many fibers NewSimulation pre-generates
 	// concurrently and how many policies RunPolicies runs concurrently;
 	// <= 0 means runtime.GOMAXPROCS(0). Results, metrics, and traces
@@ -307,6 +318,15 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 		return nil, err
 	}
 	sim.demandsBase = demands
+
+	// Register the link table with the flight recorder once, up front:
+	// admission under the cardinality budget is decided here, in edge-ID
+	// order, never by recording order.
+	if cfg.Flight != nil {
+		if err := cfg.Flight.Bind(cfg.FlightRun, FlightLinks(cfg.Net), FlightLadder(cfg.Ladder)); err != nil {
+			return nil, err
+		}
+	}
 	return sim, nil
 }
 
@@ -417,6 +437,7 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 		}
 
 		metrics := RoundMetrics{Round: r, OfferedGbps: offered, MinSNRdB: s.minSNRAt(r)}
+		var fr flightRound
 
 		// Build this round's IP capacities; count forced changes.
 		g := net.G.Clone()
@@ -446,6 +467,10 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 			metrics.ShippedGbps = alloc.Throughput
 			metrics.CapacityGbps = g.TotalCapacity()
 			copy(prevFlow, alloc.EdgeFlow)
+			fr = flightRound{
+				capOn:  func(id graph.EdgeID) float64 { return g.Edge(id).Capacity },
+				flowOn: alloc.FlowOn,
+			}
 
 		case PolicyDynamic:
 			// 1. Forced downgrades: SNR no longer supports the
@@ -453,6 +478,10 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 			//    (possibly 0 on loss of light).
 			changes := 0
 			var disrupted float64
+			var forcedFiber []bool
+			if cfg.Flight != nil {
+				forcedFiber = make([]bool, net.NumFibers)
+			}
 			for f := 0; f < net.NumFibers; f++ {
 				for w := 0; w < net.Wavelengths; w++ {
 					feas := s.FeasibleAt(f, w, r)
@@ -460,6 +489,9 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 						s.emitOrder(o, policy, r, f, w, configured[f][w], feas, "forced-downgrade")
 						configured[f][w] = feas
 						changes++
+						if forcedFiber != nil {
+							forcedFiber[f] = true
+						}
 					}
 				}
 			}
@@ -503,6 +535,10 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 			}
 			// 3. Apply upgrades: raise every wavelength of a changed
 			//    link to its feasible capacity.
+			var upgraded map[graph.EdgeID]bool
+			if cfg.Flight != nil {
+				upgraded = make(map[graph.EdgeID]bool, len(dec.Changes))
+			}
 			for _, ch := range dec.Changes {
 				f := net.FiberOf[ch.Edge]
 				for w := 0; w < net.Wavelengths; w++ {
@@ -513,6 +549,9 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 					}
 				}
 				disrupted += prevFlow[ch.Edge] * cfg.ChangeDowntime.Seconds()
+				if upgraded != nil {
+					upgraded[ch.Edge] = true
+				}
 			}
 			metrics.Changes = changes
 			metrics.DisruptedGbpsSec = disrupted
@@ -527,6 +566,32 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 			}
 			metrics.CapacityGbps = capTotal
 			copy(prevFlow, dec.EdgeFlow)
+			if cfg.Flight != nil {
+				attMap := make(map[graph.EdgeID]core.FakeAttribution)
+				for _, att := range aug.Attribution(alloc.EdgeFlow) {
+					attMap[att.Real] = att
+				}
+				edgeFlow := dec.EdgeFlow
+				fr = flightRound{
+					capOn: func(id graph.EdgeID) float64 {
+						f := net.FiberOf[id]
+						var c modulation.Gbps
+						for w := 0; w < net.Wavelengths; w++ {
+							c += configured[f][w]
+						}
+						return float64(c)
+					},
+					flowOn: func(id graph.EdgeID) float64 {
+						if int(id) < len(edgeFlow) {
+							return edgeFlow[id]
+						}
+						return 0
+					},
+					att:      attMap,
+					forced:   forcedFiber,
+					upgraded: upgraded,
+				}
+			}
 
 		default:
 			return nil, fmt.Errorf("wan: unknown policy %v", policy)
@@ -554,6 +619,7 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 		}
 		metrics.LinksDark = dark
 
+		s.captureFlight(policy, r, metrics, fr)
 		s.recordRound(o, policy, metrics)
 		// Alerts evaluate after the round's gauges are current, on the
 		// round's simulation timestamp.
