@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-ext vuln test test-short race race-short cover bench bench-json experiments experiments-quick examples serve-demo flight-demo clean
+.PHONY: all build lint lint-json lint-ext vuln test test-short race race-short cover bench bench-json experiments experiments-quick examples serve-demo flight-demo clean
 
 all: build lint test
 
@@ -11,9 +11,18 @@ build:
 	$(GO) vet ./...
 
 # rwc-lint is the repo-specific determinism/unit-invariant suite
-# (internal/lint): norandglobal, nowalltime, nofloateq, unitmix.
+# (internal/lint): AST-local checks (norandglobal, nowalltime,
+# nofloateq, unitmix), interprocedural determinism-taint and
+# concurrency analyzers (mapiter, goroleak, chanorder, seriesname),
+# and the suppression meta-check (nolintpolicy). The baseline file is
+# kept empty — the module is swept clean — but stays wired in so a
+# temporarily accepted finding has exactly one place to live.
 lint:
-	$(GO) run ./cmd/rwc-lint ./...
+	$(GO) run ./cmd/rwc-lint -baseline lint.baseline.json ./...
+
+# Machine-readable findings for CI: deterministic JSON on stdout.
+lint-json:
+	$(GO) run ./cmd/rwc-lint -baseline lint.baseline.json -json ./...
 
 # External linters are advisory: run them when installed, no-op with a
 # pointer when not, so offline builds never block on missing tools.

@@ -7,24 +7,31 @@
 //	rwc-lint [flags] [package patterns]
 //
 // With no patterns it checks ./... — the whole module, test files
-// included. It prints one line per finding and exits non-zero if any
-// finding survives //nolint filtering, so `make lint` and CI can gate
-// on it. Run it from inside the module (package resolution shells out
-// to `go list`).
+// included. Packages are loaded and analyzed in import order so
+// cross-package facts (mapiter taint, seriesname registrations)
+// resolve; analysis fans out per package on an internal/par pool
+// (-workers), and both the text and -json outputs are byte-identical
+// for any workers value. It prints one line per finding and exits
+// non-zero if any finding survives //nolint filtering and the
+// -baseline file, so `make lint` and CI can gate on it. Run it from
+// inside the module (package resolution shells out to `go list`).
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/lint"
+	"repro/internal/par"
 )
 
 func main() {
@@ -33,6 +40,9 @@ func main() {
 		list     = flag.Bool("list", false, "list available analyzers and exit")
 		tests    = flag.Bool("tests", true, "also check _test.go files")
 		maxDiags = flag.Int("max", 0, "stop after this many findings (0 = unlimited)")
+		jsonOut  = flag.Bool("json", false, "emit findings as deterministic JSON on stdout")
+		baseline = flag.String("baseline", "", "baseline file of accepted findings to subtract")
+		workers  = flag.Int("workers", par.Workers(0), "analysis workers (default GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -58,31 +68,45 @@ func main() {
 
 	loader := lint.NewLoader()
 	var loaded []*lint.Package
-	for _, p := range pkgs {
-		for _, group := range p.fileGroups(*tests) {
-			if len(group) == 0 {
-				continue
-			}
-			pkg, err := loader.LoadFiles(p.ImportPath, group)
-			if err != nil {
-				fatalf("%v", err)
-			}
-			loaded = append(loaded, pkg)
+	for _, u := range loadUnits(pkgs, *tests) {
+		pkg, err := loader.LoadFiles(u.path, u.files)
+		if err != nil {
+			fatalf("%v", err)
 		}
+		loaded = append(loaded, pkg)
 	}
 
-	diags, err := lint.Run(loaded, analyzers)
+	diags, err := lint.RunParallel(loaded, analyzers, *workers)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	for i, d := range diags {
-		if *maxDiags > 0 && i >= *maxDiags {
-			fmt.Fprintf(os.Stderr, "rwc-lint: %d further findings suppressed by -max\n", len(diags)-i)
-			break
+
+	findings := render(loader, diags)
+	var base *baselineFile
+	if *baseline != "" {
+		base, err = loadBaseline(*baseline)
+		if err != nil {
+			fatalf("%v", err)
 		}
-		fmt.Printf("%s: %s (%s)\n", loader.Fset().Position(d.Pos), d.Message, d.Analyzer.Name)
+		findings = base.subtract(findings)
+		for _, stale := range base.stale() {
+			fmt.Fprintf(os.Stderr, "rwc-lint: stale baseline entry (matched nothing): %s: %s (%s)\n",
+				stale.File, stale.Message, stale.Analyzer)
+		}
 	}
-	if len(diags) > 0 {
+
+	if *jsonOut {
+		writeJSON(os.Stdout, findings, base)
+	} else {
+		for i, f := range findings {
+			if *maxDiags > 0 && i >= *maxDiags {
+				fmt.Fprintf(os.Stderr, "rwc-lint: %d further findings suppressed by -max\n", len(findings)-i)
+				break
+			}
+			fmt.Printf("%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
 }
@@ -90,6 +114,127 @@ func main() {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "rwc-lint: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// finding is one diagnostic in output form. File paths are
+// slash-separated and relative to the working directory, so JSON
+// output is byte-identical across runs from the same module root.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func render(loader *lint.Loader, diags []lint.Diagnostic) []finding {
+	cwd, _ := os.Getwd()
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		pos := loader.Fset().Position(d.Pos)
+		file := pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out = append(out, finding{
+			Analyzer: d.Analyzer.Name,
+			File:     filepath.ToSlash(file),
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// jsonReport is the machine-readable output shape. Field order is
+// fixed by the struct, findings are pre-sorted, and no maps are
+// involved, so the bytes are deterministic.
+type jsonReport struct {
+	Version   int       `json:"version"`
+	Findings  []finding `json:"findings"`
+	Baselined int       `json:"baselined"`
+}
+
+func writeJSON(w io.Writer, findings []finding, base *baselineFile) {
+	rep := jsonReport{Version: 1, Findings: findings}
+	if rep.Findings == nil {
+		rep.Findings = []finding{}
+	}
+	if base != nil {
+		rep.Baselined = base.matched
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(rep); err != nil {
+		fatalf("encoding JSON: %v", err)
+	}
+}
+
+// baselineEntry identifies an accepted finding by analyzer, file, and
+// message — line numbers drift under unrelated edits, so they are
+// deliberately not part of the key.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+type baselineFile struct {
+	entries []baselineEntry
+	used    []bool
+	matched int
+}
+
+func loadBaseline(path string) (*baselineFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var raw struct {
+		Version  int             `json:"version"`
+		Findings []baselineEntry `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if raw.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d", path, raw.Version)
+	}
+	return &baselineFile{entries: raw.Findings, used: make([]bool, len(raw.Findings))}, nil
+}
+
+func (b *baselineFile) subtract(findings []finding) []finding {
+	var out []finding
+	for _, f := range findings {
+		hit := false
+		for i, e := range b.entries {
+			if e.Analyzer == f.Analyzer && e.File == f.File && e.Message == f.Message {
+				b.used[i] = true
+				hit = true
+				break
+			}
+		}
+		if hit {
+			b.matched++
+		} else {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (b *baselineFile) stale() []baselineEntry {
+	var out []baselineEntry
+	for i, e := range b.entries {
+		if !b.used[i] {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 func selectAnalyzers(all []*lint.Analyzer, only string) []*lint.Analyzer {
@@ -110,7 +255,7 @@ func selectAnalyzers(all []*lint.Analyzer, only string) []*lint.Analyzer {
 }
 
 // listedPackage is the subset of `go list -json` output the driver
-// needs to reconstruct each package's file groups.
+// needs to reconstruct each package's file groups and import edges.
 type listedPackage struct {
 	Dir          string
 	ImportPath   string
@@ -118,32 +263,113 @@ type listedPackage struct {
 	CgoFiles     []string
 	TestGoFiles  []string
 	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
 }
 
-// fileGroups returns up to two absolute-path file groups: the package
-// proper (with in-package tests) and, separately, the external _test
-// package. Both type-check under the same import path so path-keyed
-// lint policies (internal/rng exemption, simulation-package bans)
-// apply to both halves. Cgo files are excluded: go/types cannot check
-// import "C" without a full cgo preprocessing pass, and the module is
-// cgo-free by policy.
-func (p *listedPackage) fileGroups(tests bool) [][]string {
-	abs := func(names []string) []string {
-		out := make([]string, len(names))
-		for i, n := range names {
-			out[i] = filepath.Join(p.Dir, n)
+// loadUnit is one type-check group: the package proper (with
+// in-package tests) or an external _test package.
+type loadUnit struct {
+	path    string
+	files   []string
+	imports []string
+}
+
+// loadUnits flattens the listed packages into type-check groups
+// ordered so that every module-local import of a group precedes it.
+// That order lets the Loader's package cache resolve module imports
+// to the exact packages being analyzed (object identity for facts)
+// and gives the analysis scheduler its dependency levels. Cgo files
+// are excluded: go/types cannot check import "C" without a full cgo
+// preprocessing pass, and the module is cgo-free by policy.
+func loadUnits(pkgs []*listedPackage, tests bool) []loadUnit {
+	// Deterministic input order regardless of go list's.
+	sort.SliceStable(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	var units []loadUnit
+	for _, p := range pkgs {
+		abs := func(names []string) []string {
+			out := make([]string, len(names))
+			for i, n := range names {
+				out[i] = filepath.Join(p.Dir, n)
+			}
+			return out
 		}
-		return out
+		main := abs(p.GoFiles)
+		imports := append([]string{}, p.Imports...)
+		if tests {
+			main = append(main, abs(p.TestGoFiles)...)
+			imports = append(imports, p.TestImports...)
+		}
+		if len(main) > 0 {
+			units = append(units, loadUnit{path: p.ImportPath, files: main, imports: imports})
+		}
+		if tests && len(p.XTestGoFiles) > 0 {
+			units = append(units, loadUnit{
+				path:  p.ImportPath,
+				files: abs(p.XTestGoFiles),
+				// The external test package always depends on the
+				// package proper (same import path).
+				imports: append([]string{p.ImportPath}, p.XTestImports...),
+			})
+		}
 	}
-	main := abs(p.GoFiles)
-	if tests {
-		main = append(main, abs(p.TestGoFiles)...)
+	ordered, err := topoUnits(units)
+	if err != nil {
+		fatalf("%v", err)
 	}
-	groups := [][]string{main}
-	if tests && len(p.XTestGoFiles) > 0 {
-		groups = append(groups, abs(p.XTestGoFiles))
+	return ordered
+}
+
+// topoUnits topologically sorts load units by module-local imports,
+// keeping input order among ties.
+func topoUnits(units []loadUnit) ([]loadUnit, error) {
+	first := map[string]int{}
+	for i, u := range units {
+		if _, ok := first[u.path]; !ok {
+			first[u.path] = i
+		}
 	}
-	return groups
+	indeg := make([]int, len(units))
+	dependents := make([][]int, len(units))
+	for i, u := range units {
+		seen := map[int]bool{}
+		for _, imp := range u.imports {
+			if j, ok := first[imp]; ok && j != i && !seen[j] {
+				seen[j] = true
+				dependents[j] = append(dependents[j], i)
+				indeg[i]++
+			}
+		}
+		// An external _test unit also waits for its package proper.
+		if j, ok := first[u.path]; ok && j != i && !seen[j] {
+			dependents[j] = append(dependents[j], i)
+			indeg[i]++
+		}
+	}
+	var order []int
+	scheduled := make([]bool, len(units))
+	for len(order) < len(units) {
+		progress := false
+		for i := range units {
+			if !scheduled[i] && indeg[i] == 0 {
+				scheduled[i] = true
+				order = append(order, i)
+				for _, j := range dependents[i] {
+					indeg[j]--
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, errors.New("import cycle among listed packages")
+		}
+	}
+	out := make([]loadUnit, len(order))
+	for i, idx := range order {
+		out[i] = units[idx]
+	}
+	return out, nil
 }
 
 func goList(patterns []string) ([]*listedPackage, error) {

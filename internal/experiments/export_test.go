@@ -73,6 +73,37 @@ func TestRenderMarkdownRaggedRow(t *testing.T) {
 	}
 }
 
+func TestMapBackedTablesRenderByteIdentical(t *testing.T) {
+	// Regression pin for the rwc-lint mapiter sweep audit: Figure2b and
+	// Figure3a hold their aggregates in map[Gbps] fields, and their
+	// Table() methods must only ever read those maps through the ordered
+	// Capacities slice. If anyone later ranges the map into rows, two
+	// same-seed renders stop being byte-identical and this fails (with
+	// high probability per run, certainty across CI runs).
+	render := func() []byte {
+		o := quick()
+		r2b, err := Figure2b(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r3a, err := Figure3a(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, tab := range []*Table{r2b.Table(), r3a.Table()} {
+			if err := tab.RenderCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed table renders differ:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
 func TestRenderCSVAllFigures(t *testing.T) {
 	// Every experiment's table must survive both exports.
 	o := quick()

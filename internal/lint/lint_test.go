@@ -65,6 +65,46 @@ func TestUnitMix(t *testing.T) {
 	linttest.Run(t, "testdata", lint.UnitMix, "unitmix")
 }
 
+func TestMapIter(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MapIter, "mapiter")
+}
+
+func TestMapIterCrossPackageFacts(t *testing.T) {
+	// mapiterdep.Keys exports a return-taint fact when its package is
+	// analyzed; mapiteruse imports it and must inherit the taint even
+	// though no map literal appears in the consumer.
+	linttest.RunWithDeps(t, "testdata", lint.MapIter,
+		[]string{"mapiterdep"}, "mapiteruse")
+}
+
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, "testdata", lint.GoroLeak, "goroleak")
+}
+
+func TestChanOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ChanOrder, "chanorder")
+}
+
+func TestSeriesName(t *testing.T) {
+	// The fake obs core loads first so registration methods resolve;
+	// the core itself is exempt, the consumer is fully checked, and the
+	// intra-package kind/help conflicts exercise the Finish pass.
+	linttest.RunWithDeps(t, "testdata", lint.SeriesName,
+		[]string{"seriesobs/internal/obs"}, "seriesuse")
+}
+
+func TestSeriesNameCrossPackage(t *testing.T) {
+	// seriesdup1 registers first and owns the names; seriesdup2's
+	// conflicting registrations are reported with seriesdup1 named as
+	// the canonical site — the module-wide facts path.
+	linttest.RunWithDeps(t, "testdata", lint.SeriesName,
+		[]string{"seriesobs/internal/obs", "seriesdup1"}, "seriesdup2")
+}
+
+func TestNolintPolicy(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NolintPolicy, "nolintpolicy")
+}
+
 func TestAllIsTheFullSuite(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range lint.All() {
@@ -76,7 +116,10 @@ func TestAllIsTheFullSuite(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"norandglobal", "nowalltime", "nofloateq", "unitmix"} {
+	for _, want := range []string{
+		"norandglobal", "nowalltime", "nofloateq", "unitmix",
+		"mapiter", "goroleak", "chanorder", "seriesname", "nolintpolicy",
+	} {
 		if !names[want] {
 			t.Fatalf("suite is missing %q", want)
 		}

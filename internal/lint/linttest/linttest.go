@@ -44,11 +44,27 @@ type lineKey struct {
 // and // want expectations as test failures.
 func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgpath string) {
 	t.Helper()
-	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	RunWithDeps(t, testdata, a, nil, pkgpath)
+}
+
+// RunWithDeps is Run with dependency fixture packages loaded (and
+// analyzed) first, in the given order. Deps register in the loader's
+// package cache, so the target fixture can import them by path and
+// analyzer facts exported by a dep (mapiter return-taint, seriesname
+// registrations) are visible when the target is analyzed — the same
+// import-ordered schedule the driver uses on the real module. Want
+// expectations are honored in deps and target alike.
+func RunWithDeps(t *testing.T, testdata string, a *lint.Analyzer, deps []string, pkgpath string) {
+	t.Helper()
 	loader := lint.NewLoader()
-	pkgs, err := loader.LoadDir(pkgpath, dir)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	var pkgs []*lint.Package
+	for _, dep := range append(append([]string{}, deps...), pkgpath) {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(dep))
+		loaded, err := loader.LoadDir(dep, dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", dep, err)
+		}
+		pkgs = append(pkgs, loaded...)
 	}
 	wants, err := collectWants(loader.Fset(), pkgs)
 	if err != nil {

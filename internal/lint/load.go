@@ -30,16 +30,37 @@ type Package struct {
 //
 // It uses the stdlib "source" importer, which compiles dependencies
 // from source via go/build: no export data, vendored x/tools, or
-// network access is needed, only the go toolchain itself.
+// network access is needed, only the go toolchain itself. Packages
+// already loaded through this Loader shadow the source importer:
+// when the driver loads the module in import order, every module
+// import resolves to the exact *types.Package that was analyzed, so
+// a types.Object seen by a caller is identical to the one its
+// defining package exported facts about. (This is what makes
+// cross-package fact lookup — mapiter taint through an exported
+// helper — work without an object-path encoding.)
 type Loader struct {
-	fset *token.FileSet
-	imp  types.Importer
+	fset  *token.FileSet
+	imp   types.Importer
+	cache map[string]*types.Package
 }
 
 // NewLoader returns a ready Loader.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{
+		fset:  fset,
+		imp:   importer.ForCompiler(fset, "source", nil),
+		cache: map[string]*types.Package{},
+	}
+}
+
+// Import implements types.Importer, preferring packages this Loader
+// already type-checked over the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	return l.imp.Import(path)
 }
 
 // Fset returns the shared FileSet for position rendering.
@@ -68,7 +89,7 @@ func (l *Loader) LoadFiles(path string, filenames []string) (*Package, error) {
 	}
 	var typeErrs []error
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: l,
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
 	tpkg, err := conf.Check(path, l.fset, files, info)
@@ -81,6 +102,12 @@ func (l *Loader) LoadFiles(path string, filenames []string) (*Package, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	if _, ok := l.cache[path]; !ok {
+		// First group under this path wins (the package proper); an
+		// external _test group re-checks the same path and must not
+		// shadow it.
+		l.cache[path] = tpkg
 	}
 	return &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
 }

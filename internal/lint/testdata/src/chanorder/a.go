@@ -1,0 +1,57 @@
+// Fixture: chanorder — channel-ordered data must not feed artifact
+// sinks without index-ordered reassembly.
+package chanorder
+
+import "fmt"
+
+// fanSelect emits whichever channel is ready first: scheduler order
+// reaches the artifact.
+func fanSelect(a, b chan int) {
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-a:
+			fmt.Println(v) // want `fmt.Println inside a select with multiple ready channels`
+		case v := <-b:
+			fmt.Println(v) // want `fmt.Println inside a select with multiple ready channels`
+		}
+	}
+}
+
+// drain renders fan-in arrival order directly.
+func drain(ch chan int) {
+	for v := range ch {
+		fmt.Println(v) // want `fmt.Println inside channel fan-in`
+	}
+}
+
+// reassemble is the sanctioned shape: store by task index, render
+// after the join.
+func reassemble(ch chan struct{ I, V int }, n int) {
+	out := make([]int, n)
+	for m := range ch {
+		out[m.I] = m.V
+	}
+	for _, v := range out {
+		fmt.Println(v)
+	}
+}
+
+// nonblocking has a single communication case: no choice, no race.
+func nonblocking(ch chan int) {
+	select {
+	case v := <-ch:
+		fmt.Println(v)
+	default:
+	}
+}
+
+// compute is allowed to select over many channels as long as no sink
+// sits in the case bodies.
+func compute(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,102 @@
+// Fixture: goroleak — every go statement needs a visible join or
+// shutdown path.
+package goroleak
+
+import "sync"
+
+// anon has no join evidence at all.
+func anon() {
+	go func() { // want `no reachable join/shutdown path`
+		_ = 1 + 1
+	}()
+}
+
+// fireNamed spawns a same-package function with no join path.
+func fireNamed() {
+	go spin() // want `no reachable join/shutdown path`
+}
+
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// joinedWaitGroup: Done in the goroutine, Wait at the spawn site.
+func joinedWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// joinedNamed: the spawned method's body calls Done on the owner's
+// WaitGroup (resolved through the same-package declaration).
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) work() {
+	defer p.wg.Done()
+}
+
+func (p *pool) spawnUnadded() {
+	go p.work() // clean: work's body calls (*sync.WaitGroup).Done
+}
+
+// quitChannel: the goroutine listens on a shutdown channel.
+func quitChannel(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// serverField: the goroutine blocks in s.srv.Serve and the package
+// closes s.srv elsewhere — the HTTP-server shape.
+type fakeServer struct{}
+
+func (*fakeServer) Serve() error { return nil }
+func (*fakeServer) Close() error { return nil }
+
+type server struct {
+	srv *fakeServer
+}
+
+func (s *server) start() {
+	go func() {
+		_ = s.srv.Serve()
+	}()
+}
+
+func (s *server) stop() {
+	_ = s.srv.Close()
+}
+
+// localServer: the server lives on the stack (the examples/main
+// shape) with a deferred Close in the same function.
+func localServer() {
+	srv := &fakeServer{}
+	defer srv.Close()
+	go func() {
+		_ = srv.Serve()
+	}()
+}
+
+// orphanField: same shape but nobody ever closes o.srv2.
+type orphan struct {
+	srv2 *fakeServer
+}
+
+func (o *orphan) start() {
+	go func() { // want `no reachable join/shutdown path`
+		_ = o.srv2.Serve()
+	}()
+}

@@ -1,0 +1,122 @@
+// Fixture: mapiter — values ordered by range-over-map must be sorted
+// before reaching an artifact sink. Every flagged line has a want;
+// every clean line proves the collect-and-sort idiom is accepted.
+package mapiter
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// direct writes inside the map loop: flagged at the sink call.
+func direct(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf inside range over map`
+	}
+}
+
+// directNested: the sink sits under an if inside the loop.
+func directNested(m map[string]int, w io.Writer) {
+	for k := range m {
+		if len(k) > 0 {
+			fmt.Fprintln(w, k) // want `fmt.Fprintln inside range over map`
+		}
+	}
+}
+
+// collectSorted is the sanctioned idiom: collect, sort, then write.
+func collectSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// collectUnsorted skips the sort: the slice is map-ordered when it
+// reaches the sink.
+func collectUnsorted(m map[string]int, w io.Writer) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		fmt.Fprintln(w, k) // want `fmt.Fprintln inside range over map-ordered value`
+	}
+}
+
+// directArg passes the whole map-ordered slice to a sink.
+func directArg(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Println(keys) // want `map-ordered value reaches fmt.Println`
+}
+
+// sortSlice proves sort.Slice sanitizes too.
+func sortSlice(m map[string]float64) {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	fmt.Println(vals)
+}
+
+// indexedStore leaks order through an indexed write, not append.
+func indexedStore(m map[string]int) {
+	keys := make([]string, len(m))
+	i := 0
+	for k := range m {
+		keys[i] = k
+		i++
+	}
+	fmt.Println(keys) // want `map-ordered value reaches fmt.Println`
+}
+
+// helper returns map-ordered keys; callers inherit the taint via the
+// in-package fixpoint.
+func helper(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// sortedHelper sorts before returning: clean.
+func sortedHelper(m map[string]int) []string {
+	ks := helper(m)
+	sort.Strings(ks)
+	return ks
+}
+
+func useHelper(m map[string]int) {
+	fmt.Println(helper(m)) // want `map-ordered value reaches fmt.Println`
+	fmt.Println(sortedHelper(m))
+	ks := helper(m)
+	sort.Strings(ks)
+	fmt.Println(ks)
+}
+
+// mapToMap is order-free: writing into another map does not record
+// iteration order.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// sliceRange is clean: ranging over a slice is ordered.
+func sliceRange(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}

@@ -1,0 +1,24 @@
+// Fixture: mapiterdep — the exported-helper half of the
+// cross-package taint test. Keys returns a map-ordered slice, so
+// mapiter exports a return-taint fact for it; SortedKeys sorts first
+// and stays clean. Neither function sinks anything itself, so this
+// package produces no diagnostics.
+package mapiterdep
+
+import "sort"
+
+// Keys returns m's keys in map-iteration order.
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// SortedKeys returns m's keys sorted.
+func SortedKeys(m map[string]int) []string {
+	ks := Keys(m)
+	sort.Strings(ks)
+	return ks
+}

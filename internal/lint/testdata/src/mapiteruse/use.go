@@ -1,0 +1,34 @@
+// Fixture: mapiteruse — the consumer half of the cross-package taint
+// test. mapiterdep.Keys carries a return-taint fact exported when its
+// package was analyzed; calls here are taint sources even though no
+// map is in sight.
+package mapiteruse
+
+import (
+	"fmt"
+	"sort"
+
+	"mapiterdep"
+)
+
+func renderUnsorted(m map[string]int) {
+	for _, k := range mapiterdep.Keys(m) {
+		fmt.Println(k, m[k]) // want `fmt.Println inside range over map-ordered value`
+	}
+}
+
+func renderDirect(m map[string]int) {
+	fmt.Println(mapiterdep.Keys(m)) // want `map-ordered value reaches fmt.Println`
+}
+
+func renderSorted(m map[string]int) {
+	for _, k := range mapiterdep.SortedKeys(m) {
+		fmt.Println(k, m[k])
+	}
+}
+
+func renderLocallySorted(m map[string]int) {
+	ks := mapiterdep.Keys(m)
+	sort.Strings(ks)
+	fmt.Println(ks)
+}

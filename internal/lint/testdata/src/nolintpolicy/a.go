@@ -1,0 +1,12 @@
+// Fixture: nolintpolicy — the only accepted suppression shape is
+// `//nolint:analyzer // reason`. Bare, reasonless, badly spaced, and
+// :all forms are all rejected, and these findings cannot themselves
+// be suppressed (the malformed comments below sit on their own lines).
+package nolintpolicy
+
+var a = 1 //nolint // want `malformed suppression`
+var b = 2 // nolint:nofloateq // legacy spacing // want `malformed suppression`
+var c = 3 //nolint:nofloateq //want `malformed suppression`
+var d = 4 //nolint:all // covers everything // want `name the specific analyzers instead`
+var e = 5 //nolint:nofloateq // comparing exact sentinel values is intended here
+var f = 6 //nolint:nofloateq,unitmix // two analyzers, one shared reason

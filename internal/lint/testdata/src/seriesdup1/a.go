@@ -1,0 +1,11 @@
+// Fixture: seriesdup1 — the canonical (first-analyzed) half of the
+// cross-package namespace test. These registrations define the
+// module-wide meaning of each name; this package is clean.
+package seriesdup1
+
+import obs "seriesobs/internal/obs"
+
+func Register(r *obs.Registry) {
+	r.Counter("shared_total", "shared things, canonical registration")
+	r.Counter("helpful_total", "original help text")
+}

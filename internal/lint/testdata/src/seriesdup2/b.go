@@ -1,0 +1,12 @@
+// Fixture: seriesdup2 — conflicts with names seriesdup1 already owns.
+// The Finish pass sees facts from both packages and reports at the
+// later registration, naming the package that registered first.
+package seriesdup2
+
+import obs "seriesobs/internal/obs"
+
+func Register(r *obs.Registry) {
+	r.Gauge("shared_total", "shared things")              // want `re-registered as gauge; first registered as counter in seriesdup1`
+	r.Counter("helpful_total", "a different help string") // want `conflicting help text \(first registration in seriesdup1`
+	r.Counter("local_total", "fine: a fresh name")
+}

@@ -79,7 +79,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-heartbeat.C:
 			syncDropped()
-			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil { //nolint:chanorder // keep-alive comment frame on a live HTTP stream; trace events carry seq numbers, so where heartbeats interleave cannot reorder the artifact
 				return
 			}
 			fl.Flush()
