@@ -60,11 +60,19 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# BENCH_SHA / BENCH_DATE label the appended BENCH_history.jsonl line;
+# both default to git facts (commit SHA and commit date) so the record
+# never reads the wall clock and re-running on the same commit appends
+# an identical line.
+BENCH_SHA ?= $(shell git rev-parse --short HEAD)
+BENCH_DATE ?= $(shell git log -1 --format=%cs)
+
 # Machine-readable record of the quick benchmark suite (root
 # bench_test.go runs every figure at Quick scale): benchmark name →
 # ns/op, allocs/op, and each b.ReportMetric headline number.
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/rwc-benchjson > BENCH_quick.json
+	$(GO) test -run '^$$' -bench=History -benchmem ./internal/obs/... | $(GO) run ./cmd/rwc-benchjson -jsonl -sha "$(BENCH_SHA)" -date "$(BENCH_DATE)" >> BENCH_history.jsonl
 
 # Regenerate every paper figure (minutes at paper scale).
 experiments:

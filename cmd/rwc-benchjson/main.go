@@ -6,14 +6,24 @@
 // record of both performance and the headline reproduction numbers
 // the benchmarks report as metrics.
 //
+// With -jsonl the document is instead emitted as a single compact JSON
+// line {"sha":...,"date":...,"benchmarks":{...}} meant to be appended
+// to a growing record (the Makefile's bench-json target appends the
+// history-layer benchmarks to BENCH_history.jsonl this way). -sha and
+// -date label the line; the Makefile derives both from git so the line
+// is reproducible — no wall clock is read here.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | rwc-benchjson > BENCH.json
+//	go test -bench=History -benchmem ./internal/obs/... |
+//	    rwc-benchjson -jsonl -sha abc1234 -date 2026-08-08 >> BENCH_history.jsonl
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -74,6 +84,11 @@ func parseLine(line string) (string, result, bool) {
 }
 
 func main() {
+	jsonl := flag.Bool("jsonl", false, "emit one compact JSON line (for appending to a JSONL record) instead of an indented document")
+	sha := flag.String("sha", "", "git commit SHA recorded on the -jsonl line")
+	date := flag.String("date", "", "commit date recorded on the -jsonl line (derive from git, not the wall clock)")
+	flag.Parse()
+
 	results := make(map[string]result)
 	var order []string
 	sc := bufio.NewScanner(os.Stdin)
@@ -97,6 +112,21 @@ func main() {
 		os.Exit(1)
 	}
 	sort.Strings(order)
+	if *jsonl {
+		// One compact line per invocation; map keys marshal in sorted
+		// order, so the line is stable for a given suite.
+		line, err := json.Marshal(struct {
+			SHA        string            `json:"sha,omitempty"`
+			Date       string            `json:"date,omitempty"`
+			Benchmarks map[string]result `json:"benchmarks"`
+		}{*sha, *date, results})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rwc-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(line))
+		return
+	}
 	// Ordered output: marshal field by field so the document is stable
 	// under re-runs of the same suite.
 	out := bufio.NewWriter(os.Stdout)

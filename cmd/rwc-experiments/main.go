@@ -5,8 +5,9 @@
 //
 //	rwc-experiments [-quick] [-seed N] [-figure name] [-workers N]
 //	                [-metrics-out m.prom] [-trace-out t.jsonl]
-//	                [-manifest-out run.json] [-serve addr] [-pprof addr]
-//	                [-log level] [-linger]
+//	                [-manifest-out run.json] [-hist-out run.hist]
+//	                [-hist-retain N] [-hist-budget N] [-serve addr]
+//	                [-pprof addr] [-log level] [-linger]
 //
 // Figures: fig1, fig2a, fig2b, fig3a, fig3b, fig4, fig4c, fig5, fig6b,
 // fig7, fig8, theorem1, throughput, availability, sensitivity,
@@ -34,6 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/hist"
 	"repro/internal/obs/olog"
 	"repro/internal/obs/serve"
 	"repro/internal/par"
@@ -60,6 +62,9 @@ func main() {
 	manifestOut := flag.String("manifest-out", "", "write the run manifest as JSON to this file")
 	flightOut := flag.String("flight-out", "", "record the flight log (per-link decision audit of the throughput simulation) to this file")
 	flightLinks := flag.Int("flight-links", flight.DefaultMaxLinks, "cardinality budget: links granted live labeled series (the log always carries every link)")
+	histOut := flag.String("hist-out", "", "enable the metrics-history store and write it to this file at exit (binary; .jsonl suffix selects JSONL)")
+	histRetain := flag.Int("hist-retain", hist.DefaultRetain, "raw samples retained per history series before downsampling")
+	histBudget := flag.Int("hist-budget", hist.DefaultMaxSeries, "cardinality budget: history series admitted per fan-out shard (negative = unlimited)")
 	workers := flag.Int("workers", 0, "fan-out width for figures and the fleet/simulation work inside them (0 = GOMAXPROCS); results are identical for every value")
 	serveAddr := flag.String("serve", "", "serve the live operations plane (/metrics, /healthz, /readyz, /runz, /traces, /debug/pprof) on this address (e.g. localhost:6060)")
 	pprofAddr := flag.String("pprof", "", "serve the same operations plane on a second address")
@@ -85,7 +90,7 @@ func main() {
 
 	var o *obs.Obs
 	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" || *flightOut != "" ||
-		*serveAddr != "" || *pprofAddr != "" || *logLevel != "" {
+		*histOut != "" || *serveAddr != "" || *pprofAddr != "" || *logLevel != "" {
 		o = obs.New("rwc-experiments")
 		start := time.Now()
 		o.Wall = obs.ClockFunc(func() time.Duration { return time.Since(start) })
@@ -105,6 +110,20 @@ func main() {
 		opts.Flight = flight.New(flight.Options{MaxLinks: *flightLinks})
 	}
 
+	// The metrics-history store is attached before any figure registers
+	// a series; each figure's obs child gets its own shard, so the
+	// archive is byte-identical for every -workers.
+	var histStore *hist.Store
+	if *histOut != "" {
+		histStore = hist.New(hist.Options{
+			Retain:    *histRetain,
+			MaxSeries: *histBudget,
+			Tool:      "rwc-experiments",
+			Seed:      opts.Seed,
+		})
+		o.Metrics.SetHistory(histStore.Root().Bind(o.Clock))
+	}
+
 	// The live operations plane shares one helper with rwc-wansim
 	// (internal/obs/serve); serving reads snapshots only, so figures
 	// and artifacts are unaffected.
@@ -117,7 +136,7 @@ func main() {
 	}
 	var servers []*serve.Server
 	for _, addr := range addrs {
-		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-experiments", Seed: opts.Seed, Flight: opts.Flight})
+		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-experiments", Seed: opts.Seed, Flight: opts.Flight, Hist: histStore})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rwc-experiments: %v\n", err)
 			os.Exit(1)
@@ -247,6 +266,15 @@ func main() {
 		}
 		if *manifestOut != "" {
 			write(*manifestOut, func(f *os.File) error { return o.Manifest.WriteJSON(f) })
+		}
+		if histStore != nil {
+			archive := histStore.Archive()
+			write(*histOut, func(f *os.File) error {
+				if strings.HasSuffix(*histOut, ".jsonl") {
+					return archive.WriteJSONL(f)
+				}
+				return archive.WriteBinary(f)
+			})
 		}
 		// Written last so the trailer embeds the final artifact state.
 		if opts.Flight != nil {

@@ -8,10 +8,11 @@
 //
 // Usage:
 //
-//	rwc-obsdiff [-tol F] a.prom b.prom
-//	rwc-obsdiff [-tol F] a.json b.json
-//	rwc-obsdiff a.flight b.flight
-//	rwc-obsdiff -check file...
+//	rwc-obsdiff [-tol F] [-json] a.prom b.prom
+//	rwc-obsdiff [-tol F] [-json] a.json b.json
+//	rwc-obsdiff [-json] a.flight b.flight
+//	rwc-obsdiff [-json] a.hist b.hist
+//	rwc-obsdiff [-json] -check file...
 //
 // With -check, each file is parse-validated only (no comparison); any
 // unparsable file is an error. Manifests compare seeds, metric totals,
@@ -19,13 +20,21 @@
 // runs always differ there). Flight logs (.flight) delegate to the
 // rwc-replay bisect engine: the first diverging (round, link, field)
 // is reported, with the same 0/1/2 exit contract (-tol does not apply
-// — flight divergence is exact by design).
+// — flight divergence is exact by design). History archives (.hist)
+// compare per-series sample streams and report each differing series
+// with the sim time of its first diverging sample (-tol does not apply
+// — history is exact by design).
+//
+// -json renders the same result as a single machine-readable JSON
+// object on stdout (the exit contract is unchanged), for CI jobs that
+// want structured rather than textual diffs.
 //
 // Exit status: 0 = artifacts agree (or all -check files parse),
 // 1 = differences found, 2 = usage or parse error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +42,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/hist"
 )
 
 func fatalf(code int, format string, args ...any) {
@@ -76,9 +86,18 @@ func loadFlight(path string) (*flight.Log, error) {
 	return log, nil
 }
 
+// emitJSON renders one machine-readable result object on stdout.
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatalf(2, "%v", err)
+	}
+}
+
 // diffFlight compares two flight logs via the bisect engine and exits
 // with the shared 0/1/2 contract.
-func diffFlight(pathA, pathB string) {
+func diffFlight(pathA, pathB string, jsonOut bool) {
 	a, err := loadFlight(pathA)
 	if err != nil {
 		fatalf(2, "%v", err)
@@ -88,8 +107,75 @@ func diffFlight(pathA, pathB string) {
 		fatalf(2, "%v", err)
 	}
 	d := flight.Bisect(a, b)
-	fmt.Println(d)
+	if jsonOut {
+		emitJSON(struct {
+			Kind      string `json:"kind"`
+			A         string `json:"a"`
+			B         string `json:"b"`
+			Identical bool   `json:"identical"`
+			Summary   string `json:"summary"`
+			Run       string `json:"run,omitempty"`
+			Policy    string `json:"policy,omitempty"`
+			Round     int    `json:"round,omitempty"`
+			Link      string `json:"link,omitempty"`
+			Field     string `json:"field,omitempty"`
+		}{"flight", pathA, pathB, !d.Found, d.String(), d.Run, d.Policy, d.Round, d.Link, d.Field})
+	} else {
+		fmt.Println(d)
+	}
 	if d.Found {
+		os.Exit(1)
+	}
+}
+
+// loadHist reads one history archive (binary .hist form).
+func loadHist(path string) (*hist.Archive, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	a, err := hist.ReadArchive(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// diffHist compares two history archives series-by-series, reporting
+// the sim time of the first diverging sample per series. History is
+// exact by design, so -tol does not apply.
+func diffHist(pathA, pathB string, jsonOut bool) {
+	a, err := loadHist(pathA)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+	b, err := loadHist(pathB)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+	diffs := hist.Diff(a, b)
+	if jsonOut {
+		if diffs == nil {
+			diffs = []hist.DiffEntry{}
+		}
+		emitJSON(struct {
+			Kind        string           `json:"kind"`
+			A           string           `json:"a"`
+			B           string           `json:"b"`
+			Identical   bool             `json:"identical"`
+			Series      int              `json:"series"`
+			Differences []hist.DiffEntry `json:"differences"`
+		}{"hist", pathA, pathB, len(diffs) == 0, len(a.Series), diffs})
+	} else if len(diffs) == 0 {
+		fmt.Printf("identical: %d history series agree\n", len(a.Series))
+	} else {
+		for _, d := range diffs {
+			fmt.Println(d)
+		}
+		fmt.Printf("%d differing series\n", len(diffs))
+	}
+	if len(diffs) > 0 {
 		os.Exit(1)
 	}
 }
@@ -97,9 +183,10 @@ func diffFlight(pathA, pathB string) {
 func main() {
 	tol := flag.Float64("tol", 0, "absolute value tolerance below which samples compare equal")
 	check := flag.Bool("check", false, "parse-validate each file instead of comparing two")
+	jsonOut := flag.Bool("json", false, "render the result as a machine-readable JSON object on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rwc-obsdiff [-tol F] a.{prom,json} b.{prom,json}\n")
-		fmt.Fprintf(os.Stderr, "       rwc-obsdiff -check file...\n")
+		fmt.Fprintf(os.Stderr, "usage: rwc-obsdiff [-tol F] [-json] a.{prom,json,flight,hist} b.{prom,json,flight,hist}\n")
+		fmt.Fprintf(os.Stderr, "       rwc-obsdiff [-json] -check file...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -110,20 +197,45 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
+		type checked struct {
+			Path   string `json:"path"`
+			OK     bool   `json:"ok"`
+			Detail string `json:"detail"`
+		}
+		var results []checked
 		for _, path := range args {
-			if filepath.Ext(path) == ".flight" {
+			var detail string
+			switch filepath.Ext(path) {
+			case ".flight":
 				log, err := loadFlight(path)
 				if err != nil {
 					fatalf(2, "%v", err)
 				}
-				fmt.Printf("%s: ok (%d frames, hashes verified)\n", path, len(log.Frames))
-				continue
+				detail = fmt.Sprintf("%d frames, hashes verified", len(log.Frames))
+			case ".hist":
+				arch, err := loadHist(path)
+				if err != nil {
+					fatalf(2, "%v", err)
+				}
+				detail = fmt.Sprintf("%d history series", len(arch.Series))
+			default:
+				totals, err := loadTotals(path)
+				if err != nil {
+					fatalf(2, "%v", err)
+				}
+				detail = fmt.Sprintf("%d series", len(totals))
 			}
-			totals, err := loadTotals(path)
-			if err != nil {
-				fatalf(2, "%v", err)
+			if *jsonOut {
+				results = append(results, checked{path, true, detail})
+			} else {
+				fmt.Printf("%s: ok (%s)\n", path, detail)
 			}
-			fmt.Printf("%s: ok (%d series)\n", path, len(totals))
+		}
+		if *jsonOut {
+			emitJSON(struct {
+				Kind  string    `json:"kind"`
+				Files []checked `json:"files"`
+			}{"check", results})
 		}
 		return
 	}
@@ -135,8 +247,12 @@ func main() {
 	if extA, extB := filepath.Ext(args[0]), filepath.Ext(args[1]); extA != extB {
 		fatalf(2, "cannot compare %s against %s (different artifact kinds)", args[0], args[1])
 	}
-	if filepath.Ext(args[0]) == ".flight" {
-		diffFlight(args[0], args[1])
+	switch filepath.Ext(args[0]) {
+	case ".flight":
+		diffFlight(args[0], args[1], *jsonOut)
+		return
+	case ".hist":
+		diffHist(args[0], args[1], *jsonOut)
 		return
 	}
 	a, err := loadTotals(args[0])
@@ -149,6 +265,41 @@ func main() {
 	}
 
 	diffs := obs.DiffTotals(a, b, *tol)
+	if *jsonOut {
+		type entry struct {
+			Key string   `json:"key"`
+			InA bool     `json:"in_a"`
+			InB bool     `json:"in_b"`
+			A   *float64 `json:"a,omitempty"`
+			B   *float64 `json:"b,omitempty"`
+		}
+		entries := []entry{}
+		for _, d := range diffs {
+			e := entry{Key: d.Key, InA: d.InA, InB: d.InB}
+			if d.InA {
+				v := d.A
+				e.A = &v
+			}
+			if d.InB {
+				v := d.B
+				e.B = &v
+			}
+			entries = append(entries, e)
+		}
+		emitJSON(struct {
+			Kind        string  `json:"kind"`
+			A           string  `json:"a"`
+			B           string  `json:"b"`
+			Tol         float64 `json:"tol"`
+			Identical   bool    `json:"identical"`
+			Series      int     `json:"series"`
+			Differences []entry `json:"differences"`
+		}{"totals", args[0], args[1], *tol, len(diffs) == 0, len(a), entries})
+		if len(diffs) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if len(diffs) == 0 {
 		fmt.Printf("identical: %d series agree (tol %g)\n", len(a), *tol)
 		return

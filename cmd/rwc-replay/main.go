@@ -9,6 +9,8 @@
 //	                              [-verify-metrics m.prom] [-verify-trace t.jsonl]
 //	rwc-replay explain run.flight -round N (-link src->dst | -edge id)
 //	                              [-policy dynamic] [-run name]
+//	rwc-replay hist    run.flight [-hist-out run.hist] [-hist-jsonl h.jsonl]
+//	                              [-interval 6h]
 //	rwc-replay bisect  a.flight b.flight
 //
 // replay prints a log summary and verifies every frame's state hash;
@@ -21,6 +23,13 @@
 // explain prints the causal chain behind one link's capacity in one
 // round: SNR sample → modulation table lookup → fake-edge ⟨capacity,
 // penalty⟩ → solver selection → decision gate → applied capacity.
+//
+// hist rebuilds the metrics-history store from the log's frames —
+// byte-identical to the recorder-owned series of a live -hist-out run,
+// because flight frames are a superset of the history the recorder
+// captures. -hist-out writes the canonical binary archive, -hist-jsonl
+// the JSONL form; -interval overrides the round interval for logs
+// whose header predates the interval field.
 //
 // bisect exits 0 when the logs are behaviorally identical, 1 with the
 // first diverging (round, link, field) on divergence, 2 on errors —
@@ -42,7 +51,7 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rwc-replay <replay|explain|bisect> [flags] <log...>")
+	fmt.Fprintln(os.Stderr, "usage: rwc-replay <replay|explain|hist|bisect> [flags] <log...>")
 	os.Exit(2)
 }
 
@@ -200,6 +209,29 @@ func cmdExplain(args []string) {
 	fmt.Print(e.Format())
 }
 
+func cmdHist(args []string) {
+	fs := flag.NewFlagSet("hist", flag.ExitOnError)
+	histOut := fs.String("hist-out", "", "write the rebuilt history archive (canonical binary) to this file")
+	histJSONL := fs.String("hist-jsonl", "", "write the rebuilt history archive as JSONL to this file")
+	interval := fs.Duration("interval", 0, "round interval for sim-time stamps (0 = take it from the log header)")
+	logs := parseMixed(fs, args)
+	if len(logs) != 1 || (*histOut == "" && *histJSONL == "") {
+		usage()
+	}
+	log := readLog(logs[0])
+	if *interval == 0 && log.Meta.Interval == 0 {
+		fatal(fmt.Errorf("%s: log header carries no round interval; pass -interval", logs[0]))
+	}
+	archive := log.History(*interval).Archive()
+	if *histOut != "" {
+		writeArtifact(*histOut, func(f *os.File) error { return archive.WriteBinary(f) })
+	}
+	if *histJSONL != "" {
+		writeArtifact(*histJSONL, func(f *os.File) error { return archive.WriteJSONL(f) })
+	}
+	fmt.Printf("history: %d series rebuilt from %d frames\n", len(archive.Series), len(log.Frames))
+}
+
 func cmdBisect(args []string) {
 	fs := flag.NewFlagSet("bisect", flag.ExitOnError)
 	logs := parseMixed(fs, args)
@@ -222,6 +254,8 @@ func main() {
 		cmdReplay(os.Args[2:])
 	case "explain":
 		cmdExplain(os.Args[2:])
+	case "hist":
+		cmdHist(os.Args[2:])
 	case "bisect":
 		cmdBisect(os.Args[2:])
 	default:

@@ -1,0 +1,285 @@
+// Command rwc-top is a live terminal dashboard for a running
+// simulation's operations plane (rwc-wansim / rwc-experiments with
+// -serve, typically alongside -linger and -hist-out). It polls /runz
+// for run state, /queryz for windowed history of the key WAN series,
+// and renders sparkline summaries plus the current alert state.
+//
+// Usage:
+//
+//	rwc-top [-addr host:port] [-interval 2s] [-window 48h]
+//	        [-series a,b,c] [-width N] [-once]
+//
+// Each frame shows, per (series, label set): the latest value, a
+// sparkline of the window's samples, and the window min/max — all in
+// sim time, so a paused simulation renders a stable frame. The ALERTS
+// section lists rules currently firing (the alerts_active history
+// series); the run's /queryz answers from the same deterministic store
+// that -hist-out archives, so what rwc-top shows is exactly what the
+// artifact will contain.
+//
+// -once renders a single frame and exits (0 on success, 1 when the
+// operations plane is unreachable) — the CI smoke mode. Without -once
+// it redraws every -interval until interrupted. History endpoints
+// require the serving run to have -hist-out; without it rwc-top still
+// shows /runz state and notes that history is disabled.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// sparkRunes is the 8-level bar alphabet, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+type config struct {
+	base     string // http://host:port
+	window   time.Duration
+	series   []string
+	width    int
+	interval time.Duration
+}
+
+type runzJSON struct {
+	Tool         string `json:"tool"`
+	Seed         uint64 `json:"seed"`
+	Ready        bool   `json:"ready"`
+	SimNowNs     int64  `json:"sim_now_ns"`
+	MetricSeries int    `json:"metric_series"`
+}
+
+type sampleJSON struct {
+	TNs int64   `json:"t_ns"`
+	V   float64 `json:"v"`
+}
+
+type resultJSON struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels"`
+	Samples []sampleJSON      `json:"samples"`
+}
+
+type queryzJSON struct {
+	Results []resultJSON `json:"results"`
+}
+
+// getJSON fetches one endpoint and decodes it. A 404 is reported as
+// errDisabled so callers can degrade instead of failing.
+var errDisabled = fmt.Errorf("endpoint disabled")
+
+func getJSON(client *http.Client, u string, v any) error {
+	resp, err := client.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return errDisabled
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// queryRange fetches one series' raw samples over (now-window, now].
+func queryRange(client *http.Client, cfg config, selector string, nowNs int64) ([]resultJSON, error) {
+	from := nowNs - cfg.window.Nanoseconds()
+	if from < 0 {
+		from = 0
+	}
+	q := url.Values{}
+	q.Set("q", selector)
+	q.Set("from_ns", fmt.Sprint(from))
+	q.Set("to_ns", "-1")
+	var out queryzJSON
+	if err := getJSON(client, cfg.base+"/queryz?"+q.Encode(), &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// sparkline renders vals into width buckets, scaling min..max onto the
+// 8-level bar alphabet. Flat series render mid-level bars.
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(vals) {
+		width = len(vals)
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		// Mean of this bucket's slice of the series.
+		start, end := i*len(vals)/width, (i+1)*len(vals)/width
+		sum := 0.0
+		for _, v := range vals[start:end] {
+			sum += v
+		}
+		mean := sum / float64(end-start)
+		level := len(sparkRunes) / 2
+		if hi > lo {
+			level = int((mean - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[level])
+	}
+	return b.String()
+}
+
+// labelString renders a result's labels in canonical sorted order.
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatSim(ns int64) string {
+	return time.Duration(ns).String()
+}
+
+// renderFrame draws one full dashboard frame to w. It returns an error
+// only when /runz itself is unreachable; history being disabled
+// degrades to a note.
+func renderFrame(w io.Writer, client *http.Client, cfg config) error {
+	var runz runzJSON
+	if err := getJSON(client, cfg.base+"/runz", &runz); err != nil {
+		return fmt.Errorf("runz: %w", err)
+	}
+	fmt.Fprintf(w, "rwc-top — %s seed=%d sim=%s ready=%v series=%d (window %s)\n\n",
+		runz.Tool, runz.Seed, formatSim(runz.SimNowNs), runz.Ready, runz.MetricSeries, cfg.window)
+
+	histOK := true
+	for _, sel := range cfg.series {
+		results, err := queryRange(client, cfg, sel, runz.SimNowNs)
+		if err == errDisabled {
+			histOK = false
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("queryz %s: %w", sel, err)
+		}
+		if len(results) == 0 {
+			fmt.Fprintf(w, "  %-58s (no samples in window)\n", sel)
+			continue
+		}
+		for _, r := range results {
+			vals := make([]float64, len(r.Samples))
+			for i, s := range r.Samples {
+				vals[i] = s.V
+			}
+			lo, hi := vals[0], vals[0]
+			for _, v := range vals {
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+			last := vals[len(vals)-1]
+			fmt.Fprintf(w, "  %-58s %10.3f  %s  [%.3f … %.3f]\n",
+				r.Name+labelString(r.Labels), last, sparkline(vals, cfg.width), lo, hi)
+		}
+	}
+	if !histOK {
+		fmt.Fprintf(w, "  history disabled for this run — start it with -hist-out to enable /queryz\n")
+		fmt.Fprintf(w, "\nALERTS\n  unavailable without history\n")
+		return nil
+	}
+
+	fmt.Fprintf(w, "\nALERTS\n")
+	active, err := queryRange(client, cfg, "alerts_active", runz.SimNowNs)
+	if err != nil && err != errDisabled {
+		return fmt.Errorf("queryz alerts_active: %w", err)
+	}
+	firing := 0
+	for _, r := range active {
+		if len(r.Samples) == 0 {
+			continue
+		}
+		if last := r.Samples[len(r.Samples)-1]; last.V > 0 {
+			firing++
+			fmt.Fprintf(w, "  FIRING %s (since sample at %s)\n",
+				labelString(r.Labels), formatSim(last.TNs))
+		}
+	}
+	if firing == 0 {
+		fmt.Fprintf(w, "  none firing\n")
+	}
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:6060", "operations-plane address of the running simulation (-serve)")
+	interval := flag.Duration("interval", 2*time.Second, "poll/redraw interval")
+	window := flag.Duration("window", 48*time.Hour, "sim-time window each sparkline covers")
+	width := flag.Int("width", 32, "sparkline width in cells")
+	once := flag.Bool("once", false, "render a single frame and exit (CI snapshot mode)")
+	seriesFlag := flag.String("series", "wan_snr_min_db,wan_flap_rate,wan_capacity_gbps,wan_shipped_gbps",
+		"comma-separated series selectors to chart (each may carry {label=\"value\"} matchers)")
+	flag.Parse()
+
+	cfg := config{
+		base:     "http://" + *addr,
+		window:   *window,
+		width:    *width,
+		interval: *interval,
+	}
+	for _, s := range strings.Split(*seriesFlag, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			cfg.series = append(cfg.series, s)
+		}
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	if *once {
+		if err := renderFrame(os.Stdout, client, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "rwc-top: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(cfg.interval)
+	defer ticker.Stop()
+	for {
+		var frame strings.Builder
+		err := renderFrame(&frame, client, cfg)
+		// Clear screen + home cursor between frames; on error keep the
+		// last good frame and show the error on one line instead.
+		fmt.Print("\x1b[2J\x1b[H")
+		if err != nil {
+			fmt.Printf("rwc-top: %v (retrying every %s)\n", err, cfg.interval)
+		} else {
+			fmt.Print(frame.String())
+		}
+		select {
+		case <-sig:
+			return
+		case <-ticker.C:
+		}
+	}
+}

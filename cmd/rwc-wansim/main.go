@@ -9,7 +9,8 @@
 //	           [-demand f] [-wavelengths N] [-seed N] [-hitless]
 //	           [-workers N] [-metrics-out m.prom] [-trace-out t.jsonl]
 //	           [-manifest-out run.json] [-flight-out run.flight]
-//	           [-flight-links N] [-override-snr f,w,r,db] [-serve addr]
+//	           [-flight-links N] [-hist-out run.hist] [-hist-retain N]
+//	           [-hist-budget N] [-override-snr f,w,r,db] [-serve addr]
 //	           [-pprof addr] [-log level] [-alerts] [-linger]
 //
 // The three -*-out flags enable the observability layer: -metrics-out
@@ -30,6 +31,18 @@
 // -override-snr pins one (fiber,wavelength,round) SNR cell before the
 // run — fault injection for `rwc-replay bisect` smoke tests.
 //
+// -hist-out enables the metrics-history store: every registry
+// observation (and, with -flight-out, every per-link flight gauge) is
+// kept as a sim-time-stamped series, served live on /queryz and
+// /seriesz, evaluated by the windowed SLO burn-rate rules
+// (capacity_below_slo), and written at exit as a canonical binary
+// artifact (or JSONL when the path ends in .jsonl). Same-seed runs
+// produce byte-identical history at any -workers, and a -hist-out run
+// leaves all pre-existing artifacts byte-identical to a plain run.
+// -hist-retain caps raw samples kept per series before downsampling;
+// -hist-budget caps series admitted per fan-out shard, like
+// -flight-links.
+//
 // The live operations plane rides the same bundle: -serve exposes
 // /metrics, /healthz, /readyz, /runz, the SSE /traces tail, and
 // /debug/pprof on the given address (e.g. "localhost:6060") without
@@ -48,12 +61,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/obs/alert"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/hist"
 	"repro/internal/obs/olog"
 	"repro/internal/obs/serve"
 	"repro/internal/wan"
@@ -141,6 +156,9 @@ func main() {
 	manifestOut := flag.String("manifest-out", "", "write the run manifest as JSON to this file")
 	flightOut := flag.String("flight-out", "", "record the flight log (per-link decision audit) to this file")
 	flightLinks := flag.Int("flight-links", flight.DefaultMaxLinks, "cardinality budget: links granted live labeled series (the log always carries every link)")
+	histOut := flag.String("hist-out", "", "enable the metrics-history store and write it to this file at exit (binary; .jsonl suffix selects JSONL)")
+	histRetain := flag.Int("hist-retain", hist.DefaultRetain, "raw samples retained per history series before downsampling")
+	histBudget := flag.Int("hist-budget", hist.DefaultMaxSeries, "cardinality budget: history series admitted per fan-out shard (negative = unlimited)")
 	overrideSNR := flag.String("override-snr", "", "pin one SNR cell as fiber,wavelength,round,db before the run (fault injection)")
 	serveAddr := flag.String("serve", "", "serve the live operations plane (/metrics, /healthz, /readyz, /runz, /traces, /debug/pprof) on this address (e.g. localhost:6060)")
 	pprofAddr := flag.String("pprof", "", "serve the same operations plane on a second address (kept for compatibility)")
@@ -170,7 +188,7 @@ func main() {
 	// the bundle, so they enable it too.
 	var o *obs.Obs
 	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" || *flightOut != "" ||
-		*serveAddr != "" || *pprofAddr != "" || *logLevel != "" {
+		*histOut != "" || *serveAddr != "" || *pprofAddr != "" || *logLevel != "" {
 		o = obs.New("rwc-wansim")
 		start := time.Now()
 		o.Wall = obs.ClockFunc(func() time.Duration { return time.Since(start) })
@@ -200,10 +218,25 @@ func main() {
 	if *flightOut != "" {
 		recorder = flight.New(flight.Options{MaxLinks: *flightLinks})
 	}
+	// The metrics-history store is attached before the registry records
+	// anything, so every series gets a history handle at registration.
+	// Registry captures go through the root shard; the flight recorder
+	// (whose own MaxLinks budget governs admission) gets a child shard.
+	var histStore *hist.Store
+	if *histOut != "" {
+		histStore = hist.New(hist.Options{
+			Retain:    *histRetain,
+			MaxSeries: *histBudget,
+			Tool:      "rwc-wansim",
+			Seed:      *seed,
+		})
+		o.Metrics.SetHistory(histStore.Root().Bind(o.Clock))
+		recorder.SetHistory(histStore.Root().NewChild(), *interval)
+	}
 
 	var servers []*serve.Server
 	for _, addr := range addrs {
-		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-wansim", Seed: *seed, Flight: recorder})
+		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-wansim", Seed: *seed, Flight: recorder, Hist: histStore})
 		if err != nil {
 			fatal(err)
 		}
@@ -228,6 +261,11 @@ func main() {
 	cfg.LengthAware = *lengthAware
 	if *alertsOn && o != nil {
 		cfg.Alerts = alert.DefaultWANRules()
+		// The windowed SLO burn-rate rules read the history store, so
+		// they ride along only when -hist-out enables one.
+		if histStore != nil {
+			cfg.Alerts = append(cfg.Alerts, alert.DefaultSLORules()...)
+		}
 	}
 	cfg.Flight = recorder
 	sim, err := wan.NewSimulation(cfg)
@@ -286,12 +324,21 @@ func main() {
 		if *manifestOut != "" {
 			writeOutput(*manifestOut, func(f *os.File) error { return o.Manifest.WriteJSON(f) })
 		}
+		if histStore != nil {
+			archive := histStore.Archive()
+			writeOutput(*histOut, func(f *os.File) error {
+				if strings.HasSuffix(*histOut, ".jsonl") {
+					return archive.WriteJSONL(f)
+				}
+				return archive.WriteBinary(f)
+			})
+		}
 		// Written after the artifacts above so the trailer embeds their
 		// final state — that's what lets `rwc-replay replay` regenerate
 		// them byte-identically from the log alone.
 		if recorder != nil {
 			writeOutput(*flightOut, func(f *os.File) error {
-				return recorder.WriteLog(f, flight.Meta{Tool: "rwc-wansim", Seed: int64(*seed)}, o)
+				return recorder.WriteLog(f, flight.Meta{Tool: "rwc-wansim", Seed: int64(*seed), Interval: *interval}, o)
 			})
 		}
 	}

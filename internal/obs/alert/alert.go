@@ -73,6 +73,16 @@ const (
 	// containing the p99 rank; +Inf when the rank falls past the last
 	// finite bucket). Non-histogram series never match.
 	SourceHistP99
+	// SourceBurnRate is the multi-window SLO burn rate evaluated
+	// against the metrics-history store: the fraction of retained
+	// samples violating the rule's SLO within each window, divided by
+	// the error Budget, taking the minimum of the short and long
+	// windows (both must burn — the standard guard against paging on a
+	// single bad round that the long window would forgive, and against
+	// a long-decayed incident the short window shows has ended).
+	// Requires a history sink (Registry.SetHistory); without one the
+	// rule never evaluates.
+	SourceBurnRate
 )
 
 // String names the source for trace attributes.
@@ -86,6 +96,8 @@ func (s Source) String() string {
 		return "dip_from_max"
 	case SourceHistP99:
 		return "hist_p99"
+	case SourceBurnRate:
+		return "burn_rate"
 	default:
 		return fmt.Sprintf("Source(%d)", int(s))
 	}
@@ -120,6 +132,20 @@ type Rule struct {
 	Severity Severity
 	// Help documents what an operator should do with the alert.
 	Help string
+
+	// The remaining fields apply to SourceBurnRate rules only. SLO and
+	// SLOOp define what makes one sample "bad" (e.g. OpBelow 12.45 dB:
+	// the §2.3 availability objective of never dipping ≥3 dB under the
+	// engineered baseline); ShortWindow/LongWindow are the two
+	// simulation-time windows; Budget is the tolerated bad fraction
+	// (the error budget — burn rate 1 means "exactly on budget").
+	// Op/Threshold then compare the min of the two windows' burn
+	// rates, conventionally OpAbove with a threshold of a few ×.
+	SLO         float64
+	SLOOp       Op
+	ShortWindow time.Duration
+	LongWindow  time.Duration
+	Budget      float64
 }
 
 // normalized fills defaults.
@@ -129,6 +155,9 @@ func (r Rule) normalized() Rule {
 	}
 	if r.Severity == "" {
 		r.Severity = SeverityWarning
+	}
+	if r.Budget <= 0 {
+		r.Budget = 1
 	}
 	return r
 }
@@ -141,6 +170,8 @@ type seriesState struct {
 	hasPrev   bool
 	max       float64
 	hasMax    bool
+	hist      obs.HistorySeries // lazily resolved for burn-rate rules
+	histOK    bool
 	breach    int
 	firing    bool
 	fires     int
@@ -202,7 +233,12 @@ func (e *Engine) evalRule(idx, round int, snaps []obs.SeriesSnapshot) {
 			st = &seriesState{labels: snap.Labels, series: key}
 			e.state[idx][key] = st
 		}
-		value, ok := extract(rule.Source, snap, st)
+		var value float64
+		if rule.Source == SourceBurnRate {
+			value, ok = e.burnRate(rule, snap, st)
+		} else {
+			value, ok = extract(rule.Source, snap, st)
+		}
 		if !ok {
 			continue
 		}
@@ -265,6 +301,53 @@ func extract(src Source, snap obs.SeriesSnapshot, st *seriesState) (float64, boo
 	}
 }
 
+// burnRate evaluates a SourceBurnRate rule for one series: the min of
+// the short- and long-window burn rates against the rule's SLO,
+// reading the series' retained history. False (skip) when no history
+// sink is attached or either window holds no samples yet — a burn-rate
+// rule never breaches before both windows have data.
+func (e *Engine) burnRate(rule Rule, snap obs.SeriesSnapshot, st *seriesState) (float64, bool) {
+	if !st.histOK {
+		// Resolve the series' history handle once. The engine's
+		// registry and its history shard belong to the same fan-out
+		// child, so the handle sees exactly this run's samples.
+		if sink := e.o.Metrics.History(); sink != nil {
+			st.hist = sink.Series(snap.Name, snap.Labels, snap.Type)
+		}
+		st.histOK = true
+	}
+	if st.hist == nil {
+		return 0, false
+	}
+	now := e.now()
+	short, ok := windowBurn(st.hist, rule, now, rule.ShortWindow)
+	if !ok {
+		return 0, false
+	}
+	long, ok := windowBurn(st.hist, rule, now, rule.LongWindow)
+	if !ok {
+		return 0, false
+	}
+	return math.Min(short, long), true
+}
+
+// windowBurn is one window's burn rate: the fraction of samples in
+// (now-w, now] violating the SLO, divided by the error budget.
+func windowBurn(h obs.HistorySeries, rule Rule, now, w time.Duration) (float64, bool) {
+	samples := h.Window(now-w, now)
+	if len(samples) == 0 {
+		return 0, false
+	}
+	bad := 0
+	for _, s := range samples {
+		if (rule.SLOOp == OpAbove && s.V >= rule.SLO) ||
+			(rule.SLOOp == OpBelow && s.V <= rule.SLO) {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(samples)) / rule.Budget, true
+}
+
 // histQuantile estimates a quantile from a snapshot's per-bucket
 // counts: the upper bound of the bucket holding the quantile rank,
 // +Inf past the last finite bucket. Deterministic and monotone — good
@@ -298,7 +381,7 @@ func (e *Engine) now() time.Duration {
 
 // eventAttrs builds the fire/resolve event annotation set.
 func (e *Engine) eventAttrs(rule Rule, st *seriesState, value float64, round int) []obs.Attr {
-	return []obs.Attr{
+	attrs := []obs.Attr{
 		obs.A("rule", rule.Name),
 		obs.A("severity", string(rule.Severity)),
 		obs.A("metric", rule.Metric),
@@ -309,6 +392,16 @@ func (e *Engine) eventAttrs(rule Rule, st *seriesState, value float64, round int
 		obs.A("threshold", rule.Threshold),
 		obs.A("round", round),
 	}
+	if rule.Source == SourceBurnRate {
+		attrs = append(attrs,
+			obs.A("slo", rule.SLO),
+			obs.A("slo_op", rule.SLOOp.String()),
+			obs.A("short_window_ns", rule.ShortWindow.Nanoseconds()),
+			obs.A("long_window_ns", rule.LongWindow.Nanoseconds()),
+			obs.A("budget", rule.Budget),
+		)
+	}
+	return attrs
 }
 
 // Active returns the (rule, series) pairs currently firing, sorted by

@@ -54,6 +54,29 @@ func BenchmarkDisabledSimTime(b *testing.B) {
 	}
 }
 
+// The BenchmarkHistoryOff* pair guards the history hook's own
+// disabled state: with no sink attached the wrappers carry a nil
+// HistorySeries, so metrics-enabled runs without -hist-out pay exactly
+// one nil check per observation over the plain enabled path.
+
+func BenchmarkHistoryOffGaugeSet(b *testing.B) {
+	o := New("bench")
+	g := o.Gauge("x_db", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistoryOffCounterAdd(b *testing.B) {
+	o := New("bench")
+	c := o.Counter("x_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
 func BenchmarkEnabledCounter(b *testing.B) {
 	o := New("bench")
 	c := o.Counter("x_total", "")

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/hist"
 )
 
 // DefaultMaxLinks is the labeled-series cardinality budget when
@@ -236,6 +238,10 @@ type Recorder struct {
 	ring   []RoundRecord
 	ringAt int
 	reg    *obs.Registry
+	// hist, when attached (SetHistory, see hist.go), receives every
+	// frame's per-link gauges stamped at Round × histInterval.
+	hist         *hist.Shard
+	histInterval time.Duration
 }
 
 // New builds a Recorder.
@@ -324,6 +330,9 @@ func (r *Recorder) Record(rec RoundRecord) {
 	r.frames = append(r.frames, rec)
 	r.framesCounter(r.reg).Inc()
 	r.emitSeries(r.reg, st, &rec)
+	if r.hist != nil {
+		appendFrameHistory(r.hist, r.histInterval, st, &rec)
+	}
 	if len(r.ring) < r.opt.Ring {
 		r.ring = append(r.ring, rec)
 	} else {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -44,14 +45,21 @@ const maxSectionLen = 1 << 28 // 256 MiB
 type Meta struct {
 	Tool string `json:"tool,omitempty"`
 	Seed int64  `json:"seed,omitempty"`
+	// Interval is the producing run's round interval. Frames carry
+	// round indices, not timestamps; the interval lets history rebuilds
+	// (rwc-replay hist) stamp round × Interval exactly like the live
+	// run did. Zero when the producer had no single cadence
+	// (rwc-experiments figures differ per figure).
+	Interval time.Duration `json:"-"`
 }
 
 // header is the 'H' section payload.
 type header struct {
-	Version  int    `json:"version"`
-	Tool     string `json:"tool,omitempty"`
-	Seed     int64  `json:"seed,omitempty"`
-	MaxLinks int    `json:"max_links"`
+	Version    int    `json:"version"`
+	Tool       string `json:"tool,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	IntervalNs int64  `json:"interval_ns,omitempty"`
+	MaxLinks   int    `json:"max_links"`
 }
 
 // Run is the 'R' section payload: one bound run's link table.
@@ -97,7 +105,7 @@ func (r *Recorder) WriteLog(w io.Writer, meta Meta, o *obs.Obs) error {
 	if _, err := io.WriteString(w, Magic); err != nil {
 		return err
 	}
-	h := header{Version: 1, Tool: meta.Tool, Seed: meta.Seed, MaxLinks: r.opt.MaxLinks}
+	h := header{Version: 1, Tool: meta.Tool, Seed: meta.Seed, IntervalNs: meta.Interval.Nanoseconds(), MaxLinks: r.opt.MaxLinks}
 	if err := writeJSONSection(w, secHeader, h); err != nil {
 		return err
 	}
@@ -388,7 +396,7 @@ func ReadLog(r io.Reader) (*Log, error) {
 			if h.Version != 1 {
 				return nil, fmt.Errorf("flight: unsupported log version %d", h.Version)
 			}
-			log.Meta = Meta{Tool: h.Tool, Seed: h.Seed}
+			log.Meta = Meta{Tool: h.Tool, Seed: h.Seed, Interval: time.Duration(h.IntervalNs)}
 			log.MaxLinks = h.MaxLinks
 			sawHeader = true
 		case secRun:

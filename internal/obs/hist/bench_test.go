@@ -1,0 +1,66 @@
+package hist
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The BenchmarkHistory* suite is the machine-readable perf record the
+// Makefile's bench-json target appends to BENCH_history.jsonl: the
+// cost of an enabled capture (append through the registry hook), a
+// windowed query, and archive serialization.
+
+func BenchmarkHistoryAppend(b *testing.B) {
+	st := New(Options{})
+	h := st.Root().Series("x_db", nil, "gauge")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.AppendAt(time.Duration(i), float64(i))
+	}
+}
+
+func BenchmarkHistoryOnGaugeSet(b *testing.B) {
+	st := New(Options{})
+	r := obs.NewRegistry()
+	r.SetHistory(st.Root().Bind(obs.NewSimClock()))
+	g := r.Gauge("x_db", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistoryQueryRange(b *testing.B) {
+	st := New(Options{})
+	h := st.Root().Series("x_db", nil, "gauge")
+	for i := 0; i < 4096; i++ {
+		h.AppendAt(time.Duration(i)*time.Hour, float64(i))
+	}
+	q := Query{Selector: "x_db", FromNs: 0, ToNs: -1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistoryArchiveWriteBinary(b *testing.B) {
+	st := New(Options{})
+	for s := 0; s < 16; s++ {
+		h := st.Root().Series("x_db", []obs.Label{obs.L("i", string(rune('a'+s)))}, "gauge")
+		for i := 0; i < 512; i++ {
+			h.AppendAt(time.Duration(i)*time.Hour, float64(i))
+		}
+	}
+	a := st.Archive()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := a.WriteBinary(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

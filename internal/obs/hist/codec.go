@@ -1,0 +1,295 @@
+package hist
+
+// On-disk history artifacts, in the flight log's mold (see
+// internal/obs/flight/log.go): a magic string, then tagged sections,
+// each a one-byte type + uvarint length + payload.
+//
+//	magic   "RWCHIST1\n"
+//	'H'     header JSON: version, tool, seed, dropped, series count
+//	'S'     one per series, in canonical key order: a JSON descriptor
+//	        (name, labels, type, total) followed by fixed-width
+//	        little-endian samples and downsampled blocks
+//	'T'     trailer JSON: series count again (truncation guard)
+//
+// Everything serialized is already canonical (Archive freezes the
+// cross-shard merge, encoding/json emits struct fields in declaration
+// order), so same-seed runs write byte-identical files at any -workers
+// count — CI compares them with cmp(1).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Magic identifies a binary history artifact.
+const Magic = "RWCHIST1\n"
+
+const (
+	secHeader  = 'H'
+	secSeries  = 'S'
+	secTrailer = 'T'
+
+	// maxSectionLen bounds one section (matches the flight log's
+	// guard) so a corrupt length can't drive a huge allocation.
+	maxSectionLen = 1 << 28
+
+	codecVersion = 1
+)
+
+type header struct {
+	Version int    `json:"version"`
+	Tool    string `json:"tool,omitempty"`
+	Seed    uint64 `json:"seed"`
+	Dropped int    `json:"dropped,omitempty"`
+	Series  int    `json:"series"`
+}
+
+type trailer struct {
+	Series int `json:"series"`
+}
+
+// seriesDesc is the JSON prefix of one 'S' section; the binary sample
+// and block arrays follow it inside the same section payload.
+type seriesDesc struct {
+	Name    string      `json:"name"`
+	Labels  []obs.Label `json:"labels,omitempty"`
+	Type    string      `json:"type"`
+	Total   uint64      `json:"total"`
+	Samples int         `json:"samples"`
+	Blocks  int         `json:"blocks,omitempty"`
+}
+
+// WriteBinary serializes the archive canonically.
+func (a *Archive) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	h := header{
+		Version: codecVersion,
+		Tool:    a.Meta.Tool,
+		Seed:    a.Meta.Seed,
+		Dropped: a.Meta.Dropped,
+		Series:  len(a.Series),
+	}
+	if err := writeJSONSection(bw, secHeader, h); err != nil {
+		return err
+	}
+	for _, s := range a.Series {
+		if err := writeSection(bw, secSeries, encodeSeries(s)); err != nil {
+			return err
+		}
+	}
+	if err := writeJSONSection(bw, secTrailer, trailer{Series: len(a.Series)}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL serializes the archive as one meta line followed by one
+// line per series — greppable/jq-able, same canonical order.
+func (a *Archive) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	metaLine := struct {
+		Kind string `json:"kind"`
+		Meta
+		Series int `json:"series"`
+	}{Kind: "hist_meta", Meta: a.Meta, Series: len(a.Series)}
+	if err := enc.Encode(metaLine); err != nil {
+		return err
+	}
+	for _, s := range a.Series {
+		line := struct {
+			Kind string `json:"kind"`
+			Series
+		}{Kind: "series", Series: s}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeJSONSection(w *bufio.Writer, typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeSection(w, typ, payload)
+}
+
+func writeSection(w *bufio.Writer, typ byte, payload []byte) error {
+	if err := w.WriteByte(typ); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// encodeSeries renders one 'S' payload: uvarint-prefixed JSON
+// descriptor, then fixed-width samples (int64 t_ns, float64 bits) and
+// blocks (7 × 8 bytes), all little-endian.
+func encodeSeries(s Series) []byte {
+	desc, err := json.Marshal(seriesDesc{
+		Name:    s.Name,
+		Labels:  s.Labels,
+		Type:    s.Type,
+		Total:   s.Total,
+		Samples: len(s.Samples),
+		Blocks:  len(s.Blocks),
+	})
+	if err != nil {
+		// Marshalling plain strings and numbers cannot fail.
+		panic(fmt.Sprintf("hist: encode series descriptor: %v", err))
+	}
+	buf := make([]byte, 0, len(desc)+10+16*len(s.Samples)+56*len(s.Blocks))
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(desc)))
+	buf = append(buf, lenBuf[:n]...)
+	buf = append(buf, desc...)
+	for _, sm := range s.Samples {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sm.T.Nanoseconds()))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(sm.V))
+	}
+	for _, b := range s.Blocks {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(b.StartNs))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(b.EndNs))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b.Min))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b.Max))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b.Mean))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b.Last))
+		buf = binary.LittleEndian.AppendUint64(buf, b.Count)
+	}
+	return buf
+}
+
+func decodeSeries(payload []byte) (Series, error) {
+	descLen, n := binary.Uvarint(payload)
+	if n <= 0 || descLen > uint64(len(payload)-n) {
+		return Series{}, errors.New("hist: corrupt series descriptor length")
+	}
+	var desc seriesDesc
+	if err := json.Unmarshal(payload[n:n+int(descLen)], &desc); err != nil {
+		return Series{}, fmt.Errorf("hist: series descriptor: %w", err)
+	}
+	rest := payload[n+int(descLen):]
+	need := 16*desc.Samples + 56*desc.Blocks
+	if desc.Samples < 0 || desc.Blocks < 0 || len(rest) != need {
+		return Series{}, fmt.Errorf("hist: series %s: payload %d bytes, want %d", desc.Name, len(rest), need)
+	}
+	s := Series{
+		Name:    desc.Name,
+		Labels:  desc.Labels,
+		Type:    desc.Type,
+		Total:   desc.Total,
+		Samples: make([]obs.Sample, desc.Samples),
+	}
+	for i := range s.Samples {
+		s.Samples[i] = obs.Sample{
+			T: time.Duration(int64(binary.LittleEndian.Uint64(rest[16*i:]))),
+			V: math.Float64frombits(binary.LittleEndian.Uint64(rest[16*i+8:])),
+		}
+	}
+	rest = rest[16*desc.Samples:]
+	if desc.Blocks > 0 {
+		s.Blocks = make([]Block, desc.Blocks)
+		for i := range s.Blocks {
+			off := 56 * i
+			s.Blocks[i] = Block{
+				StartNs: int64(binary.LittleEndian.Uint64(rest[off:])),
+				EndNs:   int64(binary.LittleEndian.Uint64(rest[off+8:])),
+				Min:     math.Float64frombits(binary.LittleEndian.Uint64(rest[off+16:])),
+				Max:     math.Float64frombits(binary.LittleEndian.Uint64(rest[off+24:])),
+				Mean:    math.Float64frombits(binary.LittleEndian.Uint64(rest[off+32:])),
+				Last:    math.Float64frombits(binary.LittleEndian.Uint64(rest[off+40:])),
+				Count:   binary.LittleEndian.Uint64(rest[off+48:]),
+			}
+		}
+	}
+	return s, nil
+}
+
+// ReadArchive parses a binary history artifact, requiring the header
+// and trailer (a missing trailer means a truncated write).
+func ReadArchive(r io.Reader) (*Archive, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("hist: read magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("hist: bad magic %q", magic)
+	}
+	a := &Archive{}
+	var h header
+	var t trailer
+	sawHeader, sawTrailer := false, false
+	for {
+		typ, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		length, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("hist: section length: %w", err)
+		}
+		if length > maxSectionLen {
+			return nil, fmt.Errorf("hist: section of %d bytes exceeds limit", length)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("hist: section payload: %w", err)
+		}
+		switch typ {
+		case secHeader:
+			if err := json.Unmarshal(payload, &h); err != nil {
+				return nil, fmt.Errorf("hist: header: %w", err)
+			}
+			if h.Version != codecVersion {
+				return nil, fmt.Errorf("hist: unsupported version %d", h.Version)
+			}
+			a.Meta = Meta{Tool: h.Tool, Seed: h.Seed, Dropped: h.Dropped}
+			sawHeader = true
+		case secSeries:
+			s, err := decodeSeries(payload)
+			if err != nil {
+				return nil, err
+			}
+			a.Series = append(a.Series, s)
+		case secTrailer:
+			if err := json.Unmarshal(payload, &t); err != nil {
+				return nil, fmt.Errorf("hist: trailer: %w", err)
+			}
+			sawTrailer = true
+		default:
+			// Skip unknown sections for forward compatibility.
+		}
+	}
+	if !sawHeader {
+		return nil, errors.New("hist: missing header section")
+	}
+	if !sawTrailer {
+		return nil, errors.New("hist: missing trailer (truncated artifact?)")
+	}
+	if len(a.Series) != t.Series {
+		return nil, fmt.Errorf("hist: trailer says %d series, read %d", t.Series, len(a.Series))
+	}
+	return a, nil
+}

@@ -1,0 +1,172 @@
+package hist
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func queryFixture(t *testing.T) *Store {
+	t.Helper()
+	st := New(Options{})
+	for _, pol := range []string{"run", "walk"} {
+		h := st.Root().Series("wan_snr_min_db", []obs.Label{obs.L("policy", pol)}, "gauge")
+		for r := 0; r < 8; r++ {
+			v := 15.0
+			if pol == "run" && (r == 4 || r == 5) {
+				v = 11.0 // the §2.3 dip
+			}
+			h.AppendAt(time.Duration(r)*6*time.Hour, v)
+		}
+	}
+	c := st.Root().Series("wan_rounds_total", nil, "counter")
+	for r := 0; r < 8; r++ {
+		c.AppendAt(time.Duration(r)*6*time.Hour, float64(r+1))
+	}
+	return st
+}
+
+func one(t *testing.T, st *Store, q Query) Result {
+	t.Helper()
+	res, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("query %+v matched %d series, want 1", q, len(res))
+	}
+	return res[0]
+}
+
+func TestQuerySelectorMatching(t *testing.T) {
+	st := queryFixture(t)
+	res, err := st.Query(Query{Selector: "wan_snr_min_db", ToNs: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("bare name matched %d series, want 2", len(res))
+	}
+	// Canonical order: label sets sort by key rendering.
+	if res[0].Labels["policy"] != "run" || res[1].Labels["policy"] != "walk" {
+		t.Fatalf("order = %v,%v want run,walk", res[0].Labels, res[1].Labels)
+	}
+	r := one(t, st, Query{Selector: `wan_snr_min_db{policy="walk"}`, ToNs: -1})
+	if r.Labels["policy"] != "walk" {
+		t.Fatalf("labeled selector matched %v", r.Labels)
+	}
+	if _, err := st.Query(Query{Selector: `bad{policy=run}`, ToNs: -1}); err == nil {
+		t.Fatal("unquoted label value should error")
+	}
+	if _, err := st.Query(Query{Selector: "", ToNs: -1}); err == nil {
+		t.Fatal("empty selector should error")
+	}
+}
+
+func TestQueryRange(t *testing.T) {
+	st := queryFixture(t)
+	r := one(t, st, Query{
+		Selector: `wan_snr_min_db{policy="run"}`,
+		FromNs:   (24 * time.Hour).Nanoseconds(),
+		ToNs:     (30 * time.Hour).Nanoseconds(),
+	})
+	// [24h, 30h] keeps rounds 4 and 5 — the dip.
+	if len(r.Samples) != 2 || r.Samples[0].V != 11 || r.Samples[1].V != 11 {
+		t.Fatalf("range = %+v, want the two dip samples", r.Samples)
+	}
+}
+
+func TestQueryAggregations(t *testing.T) {
+	st := queryFixture(t)
+	sel := `wan_snr_min_db{policy="run"}`
+	if r := one(t, st, Query{Selector: sel, ToNs: -1, Op: OpMin}); r.Samples[0].V != 11 {
+		t.Fatalf("min = %v, want 11", r.Samples[0].V)
+	}
+	if r := one(t, st, Query{Selector: sel, ToNs: -1, Op: OpMax}); r.Samples[0].V != 15 {
+		t.Fatalf("max = %v, want 15", r.Samples[0].V)
+	}
+	if r := one(t, st, Query{Selector: sel, ToNs: -1, Op: OpAvg}); r.Samples[0].V != 14 {
+		t.Fatalf("avg = %v, want 14", r.Samples[0].V)
+	}
+	if r := one(t, st, Query{Selector: sel, ToNs: -1, Op: OpLast}); r.Samples[0].V != 15 {
+		t.Fatalf("last = %v, want 15", r.Samples[0].V)
+	}
+	if r := one(t, st, Query{Selector: sel, ToNs: -1, Op: OpCount}); r.Samples[0].V != 8 {
+		t.Fatalf("count = %v, want 8", r.Samples[0].V)
+	}
+	r := one(t, st, Query{Selector: sel, ToNs: -1, Op: OpQuantile, Quantile: 0.25})
+	if r.Samples[0].V != 11 {
+		t.Fatalf("p25 = %v, want 11 (2 of 8 samples are 11)", r.Samples[0].V)
+	}
+	// Aggregation points carry the window's last timestamp.
+	if r.Samples[0].T != 42*time.Hour {
+		t.Fatalf("aggregation timestamp = %v, want 42h", r.Samples[0].T)
+	}
+}
+
+func TestQueryDeltaAndRate(t *testing.T) {
+	st := queryFixture(t)
+	r := one(t, st, Query{Selector: "wan_rounds_total", ToNs: -1, Op: OpDelta})
+	if len(r.Samples) != 7 {
+		t.Fatalf("delta produced %d points, want 7", len(r.Samples))
+	}
+	for _, s := range r.Samples {
+		if s.V != 1 {
+			t.Fatalf("delta = %+v, want all 1", r.Samples)
+		}
+	}
+	r = one(t, st, Query{Selector: "wan_rounds_total", ToNs: -1, Op: OpRate})
+	want := 1.0 / (6 * time.Hour).Seconds()
+	for _, s := range r.Samples {
+		if math.Abs(s.V-want) > 1e-12 {
+			t.Fatalf("rate = %v, want %v", s.V, want)
+		}
+	}
+}
+
+func TestQueryLimitKeepsNewest(t *testing.T) {
+	st := queryFixture(t)
+	r := one(t, st, Query{Selector: "wan_rounds_total", ToNs: -1, Limit: 3})
+	if len(r.Samples) != 3 || r.Samples[0].V != 6 {
+		t.Fatalf("limited = %+v, want newest 3 (6,7,8)", r.Samples)
+	}
+}
+
+func TestQueryBadOp(t *testing.T) {
+	st := queryFixture(t)
+	if _, err := st.Query(Query{Selector: "wan_rounds_total", ToNs: -1, Op: "p99"}); err == nil {
+		t.Fatal("unknown op should error")
+	}
+	if _, err := st.Query(Query{Selector: "wan_rounds_total", ToNs: -1, Op: OpQuantile, Quantile: 0}); err == nil {
+		t.Fatal("quantile 0 should error")
+	}
+}
+
+func TestSeriesListing(t *testing.T) {
+	st := queryFixture(t)
+	infos := st.Series()
+	if len(infos) != 3 {
+		t.Fatalf("listed %d series, want 3", len(infos))
+	}
+	if infos[0].Name != "wan_rounds_total" || infos[0].Type != "counter" {
+		t.Fatalf("first listing = %+v, want wan_rounds_total counter", infos[0])
+	}
+	if infos[1].Retained != 8 || infos[1].Total != 8 {
+		t.Fatalf("listing counts = %+v, want retained=total=8", infos[1])
+	}
+}
+
+func TestQuantileOf(t *testing.T) {
+	samples := []obs.Sample{{V: 4}, {V: 1}, {V: 3}, {V: 2}}
+	if q := QuantileOf(samples, 0.5); q != 2 {
+		t.Fatalf("p50 = %v, want 2", q)
+	}
+	if q := QuantileOf(samples, 1); q != 4 {
+		t.Fatalf("p100 = %v, want 4", q)
+	}
+	if q := QuantileOf(nil, 0.5); !math.IsNaN(q) {
+		t.Fatalf("empty quantile = %v, want NaN", q)
+	}
+}

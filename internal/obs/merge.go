@@ -35,6 +35,16 @@ func (o *Obs) Child() *Obs {
 	child := &Obs{Clock: clock, Wall: o.Wall, Log: o.Log.WithClock(clock)}
 	if o.Metrics != nil {
 		child.Metrics = NewRegistry()
+		// History shards follow the fan-out tree: each child gets its
+		// own shard (allocated here, serially, in task order — that
+		// order is what makes the store's canonical serialization
+		// worker-count-independent) stamped by the child's clock.
+		// Samples land in the shared store as they are recorded, so
+		// live /queryz sees fan-out work in flight; nothing is merged
+		// back at Merge time.
+		if sink := o.Metrics.History(); sink != nil {
+			child.Metrics.SetHistory(sink.Child(clock))
+		}
 	}
 	if o.Trace != nil {
 		child.Trace = NewTracer(clock)

@@ -42,13 +42,14 @@ type series struct {
 	bucketCounts []atomic.Uint64
 }
 
-// addFloat atomically adds v to the float64 carried in bits.
-func (s *series) addFloat(v float64) {
+// addFloat atomically adds v to the float64 carried in bits and
+// returns the new value (the history sink records running totals).
+func (s *series) addFloat(v float64) float64 {
 	for {
 		old := s.bits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if s.bits.CompareAndSwap(old, next) {
-			return
+		next := math.Float64frombits(old) + v
+		if s.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return next
 		}
 	}
 }
@@ -68,6 +69,10 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	// hist is the optional history sink (see history.go); nil keeps
+	// every wrapper's handle nil, so history off is one nil check on
+	// the hot path.
+	hist HistorySink
 }
 
 // NewRegistry returns an empty registry.
@@ -129,14 +134,18 @@ func (r *Registry) getSeries(name, help, typ string, upper []float64, labels []L
 }
 
 // Counter is a monotonically increasing metric.
-type Counter struct{ s *series }
+type Counter struct {
+	s *series
+	h HistorySeries
+}
 
 // Counter registers (or fetches) a counter series.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	return &Counter{s: r.getSeries(name, help, typeCounter, nil, labels)}
+	s := r.getSeries(name, help, typeCounter, nil, labels)
+	return &Counter{s: s, h: r.histSeries(name, s.labels, typeCounter)}
 }
 
 // Inc adds 1.
@@ -147,7 +156,10 @@ func (c *Counter) Add(v float64) {
 	if c == nil || c.s == nil || v < 0 {
 		return
 	}
-	c.s.addFloat(v)
+	total := c.s.addFloat(v)
+	if c.h != nil {
+		c.h.Append(total)
+	}
 }
 
 // Value reads the current total (0 when disabled).
@@ -159,14 +171,18 @@ func (c *Counter) Value() float64 {
 }
 
 // Gauge is a metric that can go up and down.
-type Gauge struct{ s *series }
+type Gauge struct {
+	s *series
+	h HistorySeries
+}
 
 // Gauge registers (or fetches) a gauge series.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	return &Gauge{s: r.getSeries(name, help, typeGauge, nil, labels)}
+	s := r.getSeries(name, help, typeGauge, nil, labels)
+	return &Gauge{s: s, h: r.histSeries(name, s.labels, typeGauge)}
 }
 
 // Set stores v.
@@ -175,6 +191,9 @@ func (g *Gauge) Set(v float64) {
 		return
 	}
 	g.s.bits.Store(math.Float64bits(v))
+	if g.h != nil {
+		g.h.Append(v)
+	}
 }
 
 // Add adds v (may be negative).
@@ -182,7 +201,10 @@ func (g *Gauge) Add(v float64) {
 	if g == nil || g.s == nil {
 		return
 	}
-	g.s.addFloat(v)
+	total := g.s.addFloat(v)
+	if g.h != nil {
+		g.h.Append(total)
+	}
 }
 
 // Value reads the current value (0 when disabled).
@@ -196,6 +218,7 @@ func (g *Gauge) Value() float64 {
 // Histogram counts observations into fixed buckets.
 type Histogram struct {
 	s *series
+	h HistorySeries
 	// bounds mirrors the family's immutable upper bounds so Observe
 	// never touches the registry lock.
 	bounds []float64
@@ -222,11 +245,13 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	r.mu.Lock()
 	bounds := r.families[name].upper
 	r.mu.Unlock()
-	return &Histogram{s: s, bounds: bounds}
+	return &Histogram{s: s, h: r.histSeries(name, s.labels, typeHistogram), bounds: bounds}
 }
 
 // Observe records one value. Buckets are stored per-bucket and made
-// cumulative at exposition.
+// cumulative at exposition. The history sink receives the raw observed
+// value, so quantile-over-window queries work from true samples rather
+// than bucket bounds.
 func (h *Histogram) Observe(v float64) {
 	if h == nil || h.s == nil {
 		return
@@ -238,6 +263,9 @@ func (h *Histogram) Observe(v float64) {
 			h.s.bucketCounts[i].Add(1)
 			break
 		}
+	}
+	if h.h != nil {
+		h.h.Append(v)
 	}
 }
 

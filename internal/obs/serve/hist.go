@@ -1,0 +1,138 @@
+package serve
+
+// The history endpoints of the operations plane: /seriesz lists every
+// stored series, /queryz answers range queries with the hist package's
+// ops (raw/delta/rate/min/max/avg/last/count/quantile). Like every
+// other endpoint, reads are snapshot-based (Store.Query merges under
+// the store lock and returns copies) and the query counter lives in
+// the server-owned registry, so serving history never perturbs run
+// artifacts.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs/hist"
+)
+
+// queryzJSON is the /queryz response shape.
+type queryzJSON struct {
+	Query   queryzEcho    `json:"query"`
+	Results []hist.Result `json:"results"`
+}
+
+// queryzEcho replays the parsed query so clients can confirm how
+// their parameters were interpreted.
+type queryzEcho struct {
+	Selector string  `json:"q"`
+	FromNs   int64   `json:"from_ns"`
+	ToNs     int64   `json:"to_ns"`
+	Op       string  `json:"op,omitempty"`
+	Quantile float64 `json:"quantile,omitempty"`
+	Limit    int     `json:"limit,omitempty"`
+	Blocks   bool    `json:"blocks,omitempty"`
+}
+
+// seriesJSON is the /seriesz response shape.
+type seriesJSON struct {
+	Dropped int               `json:"dropped,omitempty"`
+	Series  []hist.SeriesInfo `json:"series"`
+}
+
+// handleSeriesz lists the history store's series in canonical order.
+func (s *Server) handleSeriesz(w http.ResponseWriter, r *http.Request) {
+	st := s.opts.Hist
+	if st == nil {
+		http.Error(w, "metrics history disabled for this run (enable with -hist-out)", http.StatusNotFound)
+		return
+	}
+	info := seriesJSON{Dropped: st.Dropped(), Series: st.Series()}
+	if info.Series == nil {
+		info.Series = []hist.SeriesInfo{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(info)
+	s.queries.Inc()
+}
+
+// handleQueryz answers one range query. Parameters:
+//
+//	q        selector, `name` or `name{k="v",...}` (required)
+//	from_ns  inclusive lower sim-time bound (default 0)
+//	to_ns    inclusive upper sim-time bound (default -1 = unbounded)
+//	op       raw|delta|rate|min|max|avg|last|count|quantile
+//	quantile q for op=quantile, in (0,1]
+//	limit    keep only the newest N samples per series
+//	blocks   1/true to include the downsampled tier
+func (s *Server) handleQueryz(w http.ResponseWriter, r *http.Request) {
+	st := s.opts.Hist
+	if st == nil {
+		http.Error(w, "metrics history disabled for this run (enable with -hist-out)", http.StatusNotFound)
+		return
+	}
+	params := r.URL.Query()
+	q := hist.Query{Selector: params.Get("q"), ToNs: -1}
+	if q.Selector == "" {
+		http.Error(w, "missing required parameter q (series selector)", http.StatusBadRequest)
+		return
+	}
+	var err error
+	if v := params.Get("from_ns"); v != "" {
+		if q.FromNs, err = strconv.ParseInt(v, 10, 64); err != nil {
+			http.Error(w, fmt.Sprintf("bad from_ns: %v", err), http.StatusBadRequest)
+			return
+		}
+	}
+	if v := params.Get("to_ns"); v != "" {
+		if q.ToNs, err = strconv.ParseInt(v, 10, 64); err != nil {
+			http.Error(w, fmt.Sprintf("bad to_ns: %v", err), http.StatusBadRequest)
+			return
+		}
+	}
+	q.Op = params.Get("op")
+	if v := params.Get("quantile"); v != "" {
+		if q.Quantile, err = strconv.ParseFloat(v, 64); err != nil {
+			http.Error(w, fmt.Sprintf("bad quantile: %v", err), http.StatusBadRequest)
+			return
+		}
+	}
+	if v := params.Get("limit"); v != "" {
+		if q.Limit, err = strconv.Atoi(v); err != nil {
+			http.Error(w, fmt.Sprintf("bad limit: %v", err), http.StatusBadRequest)
+			return
+		}
+	}
+	if v := params.Get("blocks"); v == "1" || v == "true" {
+		q.Blocks = true
+	}
+
+	results, err := st.Query(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if results == nil {
+		results = []hist.Result{}
+	}
+	resp := queryzJSON{
+		Query: queryzEcho{
+			Selector: q.Selector,
+			FromNs:   q.FromNs,
+			ToNs:     q.ToNs,
+			Op:       q.Op,
+			Quantile: q.Quantile,
+			Limit:    q.Limit,
+			Blocks:   q.Blocks,
+		},
+		Results: results,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+	s.queries.Inc()
+}

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/hist"
+)
+
+// histServer builds a server over an Obs with an attached history
+// store carrying a seeded SNR dip at rounds 4-5 of 8 (6h cadence).
+func histServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	o := obs.New("serve-test")
+	st := hist.New(hist.Options{Tool: "serve-test", Seed: 7})
+	o.Metrics.SetHistory(st.Root().Bind(o.Clock))
+	g := o.Gauge("wan_snr_min_db", "min SNR", obs.L("policy", "run"))
+	for r := 0; r < 8; r++ {
+		o.SetSimTime(time.Duration(r) * 6 * time.Hour)
+		v := 15.0
+		if r == 4 || r == 5 {
+			v = 11.0
+		}
+		g.Set(v)
+	}
+	s := New(Options{Obs: o, Tool: "serve-test", Seed: 7, Hist: st})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestQueryzRangeReturnsDip(t *testing.T) {
+	_, ts := histServer(t)
+	q := url.Values{}
+	q.Set("q", `wan_snr_min_db{policy="run"}`)
+	q.Set("from_ns", "86400000000000") // 24h
+	q.Set("to_ns", "108000000000000")  // 30h
+	code, body := get(t, ts, "/queryz?"+q.Encode())
+	if code != http.StatusOK {
+		t.Fatalf("/queryz = %d: %s", code, body)
+	}
+	var resp struct {
+		Query struct {
+			Selector string `json:"q"`
+			ToNs     int64  `json:"to_ns"`
+		} `json:"query"`
+		Results []hist.Result `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(resp.Results))
+	}
+	s := resp.Results[0].Samples
+	if len(s) != 2 || s[0].V != 11 || s[1].V != 11 {
+		t.Fatalf("samples = %+v, want the two dip values", s)
+	}
+	if resp.Query.Selector == "" || resp.Query.ToNs != 108000000000000 {
+		t.Fatalf("query echo = %+v", resp.Query)
+	}
+}
+
+func TestQueryzAggregationAndErrors(t *testing.T) {
+	_, ts := histServer(t)
+	code, body := get(t, ts, "/queryz?q=wan_snr_min_db&op=min")
+	if code != http.StatusOK || !strings.Contains(body, `"v": 11`) {
+		t.Fatalf("min query = %d %s", code, body)
+	}
+	if code, _ := get(t, ts, "/queryz"); code != http.StatusBadRequest {
+		t.Fatalf("missing q = %d, want 400", code)
+	}
+	if code, _ := get(t, ts, "/queryz?q=x&op=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad op = %d, want 400", code)
+	}
+	if code, _ := get(t, ts, "/queryz?q=x&from_ns=abc"); code != http.StatusBadRequest {
+		t.Fatalf("bad from_ns = %d, want 400", code)
+	}
+	if code, _ := get(t, ts, "/queryz?q=x&op=quantile&quantile=2"); code != http.StatusBadRequest {
+		t.Fatalf("quantile 2 = %d, want 400", code)
+	}
+	// An unknown series is an empty result, not an error.
+	code, body = get(t, ts, "/queryz?q=no_such_series")
+	if code != http.StatusOK || !strings.Contains(body, `"results": []`) {
+		t.Fatalf("unknown series = %d %s", code, body)
+	}
+}
+
+func TestSerieszListing(t *testing.T) {
+	s, ts := histServer(t)
+	code, body := get(t, ts, "/seriesz")
+	if code != http.StatusOK {
+		t.Fatalf("/seriesz = %d", code)
+	}
+	var resp struct {
+		Series []hist.SeriesInfo `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(resp.Series) != 1 || resp.Series[0].Name != "wan_snr_min_db" || resp.Series[0].Total != 8 {
+		t.Fatalf("series = %+v", resp.Series)
+	}
+	// Query bookkeeping lands in the server-owned registry only.
+	if got := s.Registry().Totals()["obs_queries_total"]; got < 1 {
+		t.Fatalf("obs_queries_total = %v, want ≥1", got)
+	}
+	if _, ok := s.opts.Obs.Metrics.Totals()["obs_queries_total"]; ok {
+		t.Fatal("query counter leaked into the app registry")
+	}
+}
+
+func TestHistoryEndpointsWithoutStore(t *testing.T) {
+	s := New(Options{Obs: obs.New("serve-test"), Tool: "serve-test"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code, _ := get(t, ts, "/queryz?q=x"); code != http.StatusNotFound {
+		t.Fatalf("/queryz without store = %d, want 404", code)
+	}
+	if code, _ := get(t, ts, "/seriesz"); code != http.StatusNotFound {
+		t.Fatalf("/seriesz without store = %d, want 404", code)
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/hist"
 )
 
 // Options configures a Server.
@@ -49,6 +50,11 @@ type Options struct {
 	// registries. Like server bookkeeping, those series never enter run
 	// artifacts — the flight log carries its own deterministic copy.
 	Flight *flight.Recorder
+	// Hist is the run's metrics-history store (nil when history is
+	// off). /queryz answers range queries and /seriesz lists series;
+	// both answer 404 when nil. Queries read merged snapshots under the
+	// store lock, never blocking recording for longer than one copy.
+	Hist *hist.Store
 	// SSEBuffer is the per-client event channel depth (default 256).
 	// When a client cannot keep up, the newest events are dropped for
 	// that client — never buffered unboundedly, never blocking the
@@ -65,6 +71,7 @@ type Server struct {
 	mux        *http.ServeMux
 	reg        *obs.Registry // server-owned: scrape/SSE bookkeeping, never in artifacts
 	scrapes    *obs.Counter
+	queries    *obs.Counter
 	ready      atomic.Bool
 	sseClients atomic.Int64
 	ln         net.Listener
@@ -81,7 +88,10 @@ func New(opts Options) *Server {
 	}
 	s := &Server{opts: opts, mux: http.NewServeMux(), reg: obs.NewRegistry()}
 	s.scrapes = s.reg.Counter("obs_scrapes_total", "Scrapes served on /metrics.")
+	s.queries = s.reg.Counter("obs_queries_total", "History queries served on /queryz and /seriesz.")
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/queryz", s.handleQueryz)
+	s.mux.HandleFunc("/seriesz", s.handleSeriesz)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/runz", s.handleRunz)
