@@ -73,6 +73,7 @@ BENCH_DATE ?= $(shell git log -1 --format=%cs)
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/rwc-benchjson > BENCH_quick.json
 	$(GO) test -run '^$$' -bench=History -benchmem ./internal/obs/... | $(GO) run ./cmd/rwc-benchjson -jsonl -sha "$(BENCH_SHA)" -date "$(BENCH_DATE)" >> BENCH_history.jsonl
+	$(GO) test -run '^$$' -bench='SteadyStateRound|ContinentalRound|ThroughputGains$$' -benchmem -benchtime=1x . | $(GO) run ./cmd/rwc-benchjson -jsonl -sha "$(BENCH_SHA)" -date "$(BENCH_DATE)" >> BENCH_history.jsonl
 
 # Regenerate every paper figure (minutes at paper scale).
 experiments:

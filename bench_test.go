@@ -555,3 +555,71 @@ func BenchmarkWANFlight(b *testing.B) {
 		}
 	})
 }
+
+// --- Warm-start hot path ---
+
+// BenchmarkSteadyStateRound measures one dynamic TE round on the
+// warm-start pipeline — Augmenter.Refresh + warm Greedy allocation +
+// TranslateInto over a persistent topology, the exact loop
+// internal/wan runs per round. After warm-up the round is
+// allocation-free: every buffer (augmented graph, solver scratch,
+// decision, attribution) is reused across rounds.
+func BenchmarkSteadyStateRound(b *testing.B) {
+	top, demands := ablationTopology(4)
+	aug, err := core.NewAugmenter(top, core.PenaltyFromMatrix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg := te.NewWarm(te.Greedy{})
+	var dec core.Decision
+	r := rng.New(17)
+	edges := top.G.Edges()
+	round := func() {
+		// Perturb headroom the way SNR churn does, then solve.
+		for _, e := range edges {
+			if _, ok := top.Upgrades[e.ID]; ok {
+				_ = top.SetUpgrade(e.ID, r.Uniform(20, 120), r.Uniform(10, 100))
+			}
+		}
+		if err := aug.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+		alloc, err := alg.Allocate(aug.G, demands)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := aug.TranslateInto(&dec, graph.FlowResult{Value: alloc.Throughput, EdgeFlow: alloc.EdgeFlow}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		round()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+	b.ReportMetric(dec.Value, "shipped-Gbps")
+}
+
+// BenchmarkContinentalRound runs the paper-scale throughput simulation
+// on a 200-node continental backbone (≈2400 fiber×wavelength links at 8
+// wavelengths) — the scale §1 of the paper argues for, far beyond the
+// Abilene default.
+func BenchmarkContinentalRound(b *testing.B) {
+	o := opts()
+	o.SimTopology = "continental:200"
+	o.SimWavelengths = 8
+	o.SimMaxDemands = 800
+	o.SimRounds = 4
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ThroughputGains(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.GainOverStatic, "dynamic/static")
+		}
+	}
+}

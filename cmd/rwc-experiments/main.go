@@ -39,6 +39,7 @@ import (
 	"repro/internal/obs/olog"
 	"repro/internal/obs/serve"
 	"repro/internal/par"
+	"repro/internal/wan"
 )
 
 // tabler is any experiment result.
@@ -65,6 +66,9 @@ func main() {
 	histOut := flag.String("hist-out", "", "enable the metrics-history store and write it to this file at exit (binary; .jsonl suffix selects JSONL)")
 	histRetain := flag.Int("hist-retain", hist.DefaultRetain, "raw samples retained per history series before downsampling")
 	histBudget := flag.Int("hist-budget", hist.DefaultMaxSeries, "cardinality budget: history series admitted per fan-out shard (negative = unlimited)")
+	simTopology := flag.String("sim-topology", "", "override the throughput simulation's backbone (abilene, us, random[:N], continental:N); empty keeps Abilene")
+	simWavelengths := flag.Int("sim-wavelengths", 0, "wavelengths per fiber for -sim-topology runs (0 = 2)")
+	simMaxDemands := flag.Int("sim-max-demands", 0, "keep only the N largest gravity demands in the throughput simulation (0 = all; continental topologies default to 4×nodes)")
 	workers := flag.Int("workers", 0, "fan-out width for figures and the fleet/simulation work inside them (0 = GOMAXPROCS); results are identical for every value")
 	serveAddr := flag.String("serve", "", "serve the live operations plane (/metrics, /healthz, /readyz, /runz, /traces, /debug/pprof) on this address (e.g. localhost:6060)")
 	pprofAddr := flag.String("pprof", "", "serve the same operations plane on a second address")
@@ -81,6 +85,33 @@ func main() {
 		opts.Dataset.Seed = *seed
 	}
 	opts.Workers = *workers
+	if *simTopology != "" {
+		// Validate the spec up front with the same path that will build
+		// it, so a bad -sim-topology fails with exit 2 before any figure
+		// runs. The wavelength check rides along (exit 2 on e.g. 0).
+		wl := *simWavelengths
+		if wl <= 0 {
+			wl = 2
+		}
+		probe, err := wan.ParseTopology(*simTopology, wl, opts.Seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rwc-experiments: %v\n", err)
+			os.Exit(2)
+		}
+		opts.SimTopology = *simTopology
+		opts.SimWavelengths = *simWavelengths
+		opts.SimMaxDemands = *simMaxDemands
+		if opts.SimMaxDemands == 0 && strings.HasPrefix(*simTopology, "continental") {
+			opts.SimMaxDemands = 4 * probe.G.NumNodes()
+		}
+	} else if *simWavelengths < 0 {
+		fmt.Fprintf(os.Stderr, "rwc-experiments: negative -sim-wavelengths %d\n", *simWavelengths)
+		os.Exit(2)
+	}
+	if *simMaxDemands < 0 {
+		fmt.Fprintf(os.Stderr, "rwc-experiments: negative -sim-max-demands %d\n", *simMaxDemands)
+		os.Exit(2)
+	}
 
 	level, err := olog.ParseLevel(*logLevel)
 	if err != nil {

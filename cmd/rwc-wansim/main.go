@@ -82,18 +82,12 @@ func parseOverrideSNR(s string) (fiber, wavelength, round int, db float64, err e
 	return
 }
 
-// parseTopology is the single validation path for -topology.
+// parseTopology is the single validation path for -topology, shared
+// with rwc-experiments via wan.ParseTopology. It validates the
+// wavelength count too, so degenerate configurations fail here with
+// exit 2 instead of deep inside a simulation round.
 func parseTopology(name string, wavelengths int, seed uint64) (*wan.Network, error) {
-	switch name {
-	case "abilene":
-		return wan.Abilene(wavelengths), nil
-	case "us":
-		return wan.USBackbone(wavelengths), nil
-	case "random":
-		return wan.RandomBackbone(20, 14, wavelengths, seed)
-	default:
-		return nil, fmt.Errorf("unknown topology %q (abilene, us, random)", name)
-	}
+	return wan.ParseTopology(name, wavelengths, seed)
 }
 
 // parsePolicy is the single validation path for -policy.
@@ -141,11 +135,12 @@ func writeOutput(path string, write func(*os.File) error) {
 }
 
 func main() {
-	topology := flag.String("topology", "abilene", "backbone: abilene, us, or random")
+	topology := flag.String("topology", "abilene", "backbone: abilene, us, random[:N], or continental:N (paper scale, e.g. continental:200)")
 	rounds := flag.Int("rounds", 28, "TE recomputation rounds")
 	interval := flag.Duration("interval", 6*time.Hour, "time between rounds")
 	policy := flag.String("policy", "all", "policy: static100, staticmax, dynamic, or all")
 	demand := flag.Float64("demand", 1.2, "offered load as a fraction of static-100G capacity")
+	maxDemands := flag.Int("max-demands", 0, "keep only the N largest gravity demands (0 = all; continental topologies default to 4×nodes)")
 	wavelengths := flag.Int("wavelengths", 2, "wavelengths per fiber")
 	seed := flag.Uint64("seed", 2017, "simulation seed")
 	hitless := flag.Bool("hitless", false, "assume hitless (35 ms) capacity changes instead of 68 s")
@@ -176,6 +171,15 @@ func main() {
 	net, err := parseTopology(*topology, *wavelengths, *seed)
 	if err != nil {
 		usageError(err)
+	}
+	if *maxDemands < 0 {
+		usageError(fmt.Errorf("negative -max-demands %d", *maxDemands))
+	}
+	// Continental gravity matrices have O(nodes²) demand pairs; cap at
+	// the heavy hitters by default so paper-scale runs stay tractable.
+	// An explicit -max-demands always wins.
+	if *maxDemands == 0 && strings.HasPrefix(*topology, "continental") {
+		*maxDemands = 4 * net.G.NumNodes()
 	}
 	level, err := olog.ParseLevel(*logLevel)
 	if err != nil {
@@ -252,6 +256,7 @@ func main() {
 		Seed:           *seed,
 		DemandFraction: *demand,
 		DemandSigma:    0.1,
+		MaxDemands:     *maxDemands,
 		Obs:            o,
 		Workers:        *workers,
 	}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Augmenter is the warm-start counterpart of Augment: it builds the
+// augmented graph G′ once, with one fake edge per real edge, and then
+// refreshes capacities/costs in place each round instead of re-cloning
+// the topology. Links without upgrade headroom keep their fake edge at
+// capacity 0 — solvers skip zero-capacity edges everywhere (Bellman–
+// Ford, Dijkstra, decomposition all test Capacity > Eps), so the
+// stable-structure graph produces bit-identical flows to the compact
+// per-round Augment, while the TE hot path gets a structurally stable
+// graph it can keep solver state for.
+//
+// The fake edge of real edge i always has ID NumRealEdges + i, which is
+// also ascending real-ID order — the order compact augmentation appends
+// fakes in — so per-node arc orderings (and therefore tie-breaks) match
+// Augment exactly.
+//
+// Gadgets (UnsplittableGadget) are not supported; use Augment for those.
+// Not safe for concurrent use.
+type Augmenter struct {
+	// G is the augmented graph G′. Callers run TE on it; they must not
+	// modify it structurally.
+	G *graph.Graph
+	t *Topology
+	p PenaltyFunc
+	// nReal is the physical edge count the augmenter was built for.
+	nReal int
+}
+
+// NewAugmenter builds the stable augmented graph for t. A nil penalty
+// defaults to PenaltyFromMatrix, matching Augment.
+func NewAugmenter(t *Topology, penalty PenaltyFunc) (*Augmenter, error) {
+	if t == nil || t.G == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	if penalty == nil {
+		penalty = PenaltyFromMatrix
+	}
+	a := &Augmenter{
+		G:     t.G.Clone(),
+		t:     t,
+		p:     penalty,
+		nReal: t.G.NumEdges(),
+	}
+	// Append every fake edge up front, capacity 0 (Refresh opens the
+	// ones with headroom). Appending in real-ID order fixes fake IDs at
+	// nReal+i.
+	for i := 0; i < a.nReal; i++ {
+		e := t.G.Edge(graph.EdgeID(i))
+		a.G.AddEdge(graph.Edge{
+			From:   e.From,
+			To:     e.To,
+			Weight: e.Weight,
+			Label:  FakeLabel,
+		})
+	}
+	if err := a.Refresh(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// FakeID returns the fake edge in G′ for physical edge id.
+func (a *Augmenter) FakeID(id graph.EdgeID) graph.EdgeID {
+	return graph.EdgeID(a.nReal + int(id))
+}
+
+// NumRealEdges returns the physical edge count.
+func (a *Augmenter) NumRealEdges() int { return a.nReal }
+
+// Refresh re-reads the topology — current capacities, Upgrades, and
+// Traffic — into G′: real edges get the topology's capacity and the
+// penalty function's real cost; fake edges get ⟨ExtraCapacity, fake
+// cost⟩ when the link has headroom, ⟨0, 0⟩ otherwise. Call it after
+// mutating the topology, before allocating.
+func (a *Augmenter) Refresh() error {
+	t := a.t
+	if t.G.NumEdges() != a.nReal {
+		return fmt.Errorf("core: topology grew from %d to %d edges; rebuild the augmenter",
+			a.nReal, t.G.NumEdges())
+	}
+	for i := 0; i < a.nReal; i++ {
+		id := graph.EdgeID(i)
+		e := t.G.Edge(id)
+		up := t.Upgrades[id] // zero Upgrade if absent
+		realCost, fakeCost := a.p(e, up, t.Traffic[id])
+		a.G.SetCapacity(id, e.Capacity)
+		a.G.SetCost(id, realCost)
+		fakeID := a.FakeID(id)
+		if up.ExtraCapacity > 0 {
+			a.G.SetCapacity(fakeID, up.ExtraCapacity)
+			a.G.SetCost(fakeID, fakeCost)
+		} else {
+			a.G.SetCapacity(fakeID, 0)
+			a.G.SetCost(fakeID, 0)
+		}
+	}
+	return nil
+}
+
+// TranslateInto is Translate with caller-owned storage: it fills d,
+// reusing d.EdgeFlow and d.Changes backing arrays, and allocates
+// nothing once those have grown to steady-state size. The result is
+// exactly what Augmentation.Translate would return for the same flow
+// (Changes come out ascending by edge ID without sorting, because fakes
+// are scanned in real-ID order).
+func (a *Augmenter) TranslateInto(d *Decision, res graph.FlowResult) error {
+	if len(res.EdgeFlow) != a.G.NumEdges() {
+		return fmt.Errorf("core: flow result has %d edges, augmented graph has %d",
+			len(res.EdgeFlow), a.G.NumEdges())
+	}
+	t := a.t
+	d.Value = res.Value
+	d.PenaltyCost = res.Cost
+	if cap(d.EdgeFlow) < a.nReal {
+		d.EdgeFlow = make([]float64, a.nReal)
+	}
+	d.EdgeFlow = d.EdgeFlow[:a.nReal]
+	copy(d.EdgeFlow, res.EdgeFlow[:a.nReal])
+	d.Changes = d.Changes[:0]
+	for i := 0; i < a.nReal; i++ {
+		realID := graph.EdgeID(i)
+		f := res.EdgeFlow[a.FakeID(realID)]
+		if f <= graph.Eps {
+			continue
+		}
+		d.EdgeFlow[realID] += f
+		up := t.Upgrades[realID]
+		e := t.G.Edge(realID)
+		d.Changes = append(d.Changes, CapacityChange{
+			Edge:        realID,
+			OldCapacity: e.Capacity,
+			NewCapacity: e.Capacity + up.ExtraCapacity,
+			Penalty:     up.Penalty,
+			FlowOnFake:  f,
+		})
+	}
+	return nil
+}
+
+// AttributionInto is Augmentation.Attribution with a reusable buffer:
+// it appends one FakeAttribution per upgradable link (ExtraCapacity >
+// 0, the links compact augmentation would have created fakes for) into
+// dst[:0] and returns it, ascending by real edge ID. Zero-headroom
+// links are omitted so flight-recorder verdicts match the compact path.
+func (a *Augmenter) AttributionInto(dst []FakeAttribution, edgeFlow []float64) []FakeAttribution {
+	res := graph.FlowResult{EdgeFlow: edgeFlow}
+	out := dst[:0]
+	for i := 0; i < a.nReal; i++ {
+		realID := graph.EdgeID(i)
+		up, ok := a.t.Upgrades[realID]
+		if !ok || up.ExtraCapacity <= 0 {
+			continue
+		}
+		fakeID := a.FakeID(realID)
+		fe := a.G.Edge(fakeID)
+		f := res.FlowOn(fakeID)
+		out = append(out, FakeAttribution{
+			Real:         realID,
+			Fake:         fakeID,
+			FakeCapacity: fe.Capacity,
+			FakePenalty:  fe.Cost,
+			FlowOnFake:   f,
+			Residual:     fe.Capacity - f,
+			Selected:     f > graph.Eps,
+		})
+	}
+	return out
+}

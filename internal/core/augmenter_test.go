@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/te"
+)
+
+// randomUpgradeTopology builds a topology with randomized capacities,
+// upgrades (including absent and zero-headroom entries), and traffic.
+func randomUpgradeTopology(r *rng.Source, nNodes, nEdges int) *Topology {
+	g := graph.New()
+	for i := 0; i < nNodes; i++ {
+		g.AddNode("")
+	}
+	for i := 0; i < nEdges; i++ {
+		from := graph.NodeID(r.Intn(nNodes))
+		to := graph.NodeID(r.Intn(nNodes - 1))
+		if to >= from {
+			to++
+		}
+		g.AddEdge(graph.Edge{
+			From:     from,
+			To:       to,
+			Capacity: r.Uniform(0, 40),
+			Weight:   r.Uniform(1, 10),
+		})
+	}
+	t := NewTopology(g)
+	for i := 0; i < nEdges; i++ {
+		id := graph.EdgeID(i)
+		switch r.Intn(3) {
+		case 0: // no upgrade entry
+		case 1: // headroom
+			if err := t.SetUpgrade(id, r.Uniform(1, 30), r.Uniform(0, 5)); err != nil {
+				panic(err)
+			}
+		case 2: // explicit zero headroom (deletes)
+			if err := t.SetUpgrade(id, 0, 0); err != nil {
+				panic(err)
+			}
+		}
+		if err := t.SetTraffic(id, r.Uniform(0, 20)); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+// perturb re-rolls capacities, upgrades, and traffic in place,
+// preserving graph structure — one simulated TE round's worth of churn.
+func perturb(r *rng.Source, t *Topology) {
+	for i := 0; i < t.G.NumEdges(); i++ {
+		id := graph.EdgeID(i)
+		t.G.SetCapacity(id, r.Uniform(0, 40))
+		switch r.Intn(3) {
+		case 0:
+			if err := t.SetUpgrade(id, r.Uniform(1, 30), r.Uniform(0, 5)); err != nil {
+				panic(err)
+			}
+		case 1:
+			if err := t.SetUpgrade(id, 0, 0); err != nil {
+				panic(err)
+			}
+		}
+		if err := t.SetTraffic(id, r.Uniform(0, 20)); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// TestAugmenterMatchesAugment drives randomized topologies through many
+// perturbation rounds and checks that the warm Augmenter pipeline
+// (Refresh → solve → TranslateInto/AttributionInto) is bit-identical to
+// the compact per-round pipeline (Augment → solve → Translate →
+// Attribution) — same decisions, flows, costs, and attributions.
+func TestAugmenterMatchesAugment(t *testing.T) {
+	r := rng.New(0xA06)
+	for trial := 0; trial < 20; trial++ {
+		topo := randomUpgradeTopology(r, 8, 24)
+		warm, err := NewAugmenter(topo, PenaltyTrafficProportional)
+		if err != nil {
+			t.Fatalf("trial %d: NewAugmenter: %v", trial, err)
+		}
+		warmTE := te.NewWarm(te.Greedy{})
+		var dec Decision
+		var att []FakeAttribution
+		for round := 0; round < 8; round++ {
+			if round > 0 {
+				perturb(r, topo)
+			}
+			demands := []te.Demand{
+				{Src: 0, Dst: graph.NodeID(1 + r.Intn(7)), Volume: r.Uniform(5, 60)},
+				{Src: graph.NodeID(r.Intn(4)), Dst: graph.NodeID(4 + r.Intn(4)), Volume: r.Uniform(5, 60), Priority: 1},
+			}
+			if demands[1].Src == demands[1].Dst {
+				continue
+			}
+
+			// Compact (cold) pipeline.
+			aug, err := Augment(topo, PenaltyTrafficProportional)
+			if err != nil {
+				t.Fatalf("trial %d round %d: Augment: %v", trial, round, err)
+			}
+			coldAlloc, err := te.Greedy{}.Allocate(aug.Graph, demands)
+			if err != nil {
+				t.Fatalf("trial %d round %d: cold allocate: %v", trial, round, err)
+			}
+			coldDec, err := aug.Translate(graph.FlowResult{Value: coldAlloc.Throughput, EdgeFlow: coldAlloc.EdgeFlow})
+			if err != nil {
+				t.Fatalf("trial %d round %d: Translate: %v", trial, round, err)
+			}
+			coldAtt := aug.Attribution(coldAlloc.EdgeFlow)
+
+			// Warm pipeline over the persistent augmenter.
+			if err := warm.Refresh(); err != nil {
+				t.Fatalf("trial %d round %d: Refresh: %v", trial, round, err)
+			}
+			warmAlloc, err := warmTE.Allocate(warm.G, demands)
+			if err != nil {
+				t.Fatalf("trial %d round %d: warm allocate: %v", trial, round, err)
+			}
+			if err := warm.TranslateInto(&dec, graph.FlowResult{Value: warmAlloc.Throughput, EdgeFlow: warmAlloc.EdgeFlow}); err != nil {
+				t.Fatalf("trial %d round %d: TranslateInto: %v", trial, round, err)
+			}
+			att = warm.AttributionInto(att, warmAlloc.EdgeFlow)
+
+			// Allocations agree bit-for-bit on the real edges.
+			if got, want := len(warmAlloc.EdgeFlow), len(coldAlloc.EdgeFlow)+countZeroFakes(topo); got != want {
+				t.Fatalf("trial %d round %d: augmented edge counts: warm %d, cold %d + %d zero fakes",
+					trial, round, got, len(coldAlloc.EdgeFlow), countZeroFakes(topo))
+			}
+			if math.Float64bits(warmAlloc.Throughput) != math.Float64bits(coldAlloc.Throughput) {
+				t.Fatalf("trial %d round %d: throughput warm %v cold %v", trial, round, warmAlloc.Throughput, coldAlloc.Throughput)
+			}
+			if math.Float64bits(warmAlloc.Cost) != math.Float64bits(coldAlloc.Cost) {
+				t.Fatalf("trial %d round %d: cost warm %v cold %v", trial, round, warmAlloc.Cost, coldAlloc.Cost)
+			}
+
+			// Decisions are identical.
+			if len(dec.EdgeFlow) != len(coldDec.EdgeFlow) {
+				t.Fatalf("trial %d round %d: decision edge flows %d vs %d", trial, round, len(dec.EdgeFlow), len(coldDec.EdgeFlow))
+			}
+			for id := range dec.EdgeFlow {
+				if math.Float64bits(dec.EdgeFlow[id]) != math.Float64bits(coldDec.EdgeFlow[id]) {
+					t.Fatalf("trial %d round %d: edge %d flow warm %v cold %v",
+						trial, round, id, dec.EdgeFlow[id], coldDec.EdgeFlow[id])
+				}
+			}
+			if len(dec.Changes) != len(coldDec.Changes) {
+				t.Fatalf("trial %d round %d: changes %d vs %d", trial, round, len(dec.Changes), len(coldDec.Changes))
+			}
+			for i := range dec.Changes {
+				w, c := dec.Changes[i], coldDec.Changes[i]
+				if w.Edge != c.Edge ||
+					math.Float64bits(w.OldCapacity) != math.Float64bits(c.OldCapacity) ||
+					math.Float64bits(w.NewCapacity) != math.Float64bits(c.NewCapacity) ||
+					math.Float64bits(w.Penalty) != math.Float64bits(c.Penalty) ||
+					math.Float64bits(w.FlowOnFake) != math.Float64bits(c.FlowOnFake) {
+					t.Fatalf("trial %d round %d: change %d warm %+v cold %+v", trial, round, i, w, c)
+				}
+			}
+			if math.Float64bits(dec.Value) != math.Float64bits(coldDec.Value) ||
+				math.Float64bits(dec.PenaltyCost) != math.Float64bits(coldDec.PenaltyCost) {
+				t.Fatalf("trial %d round %d: value/cost warm (%v,%v) cold (%v,%v)",
+					trial, round, dec.Value, dec.PenaltyCost, coldDec.Value, coldDec.PenaltyCost)
+			}
+
+			// Attribution covers the same links with the same offers and
+			// selections (fake IDs may differ between layouts by design).
+			if len(att) != len(coldAtt) {
+				t.Fatalf("trial %d round %d: attributions %d vs %d", trial, round, len(att), len(coldAtt))
+			}
+			for i := range att {
+				w, c := att[i], coldAtt[i]
+				if w.Real != c.Real ||
+					math.Float64bits(w.FakeCapacity) != math.Float64bits(c.FakeCapacity) ||
+					math.Float64bits(w.FakePenalty) != math.Float64bits(c.FakePenalty) ||
+					math.Float64bits(w.FlowOnFake) != math.Float64bits(c.FlowOnFake) ||
+					math.Float64bits(w.Residual) != math.Float64bits(c.Residual) ||
+					w.Selected != c.Selected {
+					t.Fatalf("trial %d round %d: attribution %d warm %+v cold %+v", trial, round, i, w, c)
+				}
+			}
+		}
+	}
+}
+
+// countZeroFakes counts links the compact augmentation would NOT create
+// a fake edge for (the stable layout carries them at capacity 0).
+func countZeroFakes(t *Topology) int {
+	n := 0
+	for i := 0; i < t.G.NumEdges(); i++ {
+		if up, ok := t.Upgrades[graph.EdgeID(i)]; !ok || up.ExtraCapacity <= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestAugmenterRejectsStructuralChange pins the guard: growing the
+// underlying topology after NewAugmenter must error, not silently
+// mistranslate.
+func TestAugmenterRejectsStructuralChange(t *testing.T) {
+	r := rng.New(1)
+	topo := randomUpgradeTopology(r, 4, 6)
+	a, err := NewAugmenter(topo, nil)
+	if err != nil {
+		t.Fatalf("NewAugmenter: %v", err)
+	}
+	topo.G.AddEdge(graph.Edge{From: 0, To: 1, Capacity: 1})
+	if err := a.Refresh(); err == nil {
+		t.Fatal("Refresh accepted a structurally changed topology")
+	}
+}
+
+// TestAugmenterSteadyStateAllocs verifies the warm round loop —
+// Refresh, warm allocate, TranslateInto, AttributionInto — settles to
+// zero allocations per round.
+func TestAugmenterSteadyStateAllocs(t *testing.T) {
+	r := rng.New(0xBEEF)
+	topo := randomUpgradeTopology(r, 10, 30)
+	warm, err := NewAugmenter(topo, PenaltyTrafficProportional)
+	if err != nil {
+		t.Fatalf("NewAugmenter: %v", err)
+	}
+	warmTE := te.NewWarm(te.Greedy{})
+	demands := []te.Demand{
+		{Src: 0, Dst: 5, Volume: 25},
+		{Src: 1, Dst: 7, Volume: 18, Priority: 1},
+	}
+	var dec Decision
+	var att []FakeAttribution
+	round := func() {
+		perturb(r, topo)
+		if err := warm.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := warmTE.Allocate(warm.G, demands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := warm.TranslateInto(&dec, graph.FlowResult{Value: alloc.Throughput, EdgeFlow: alloc.EdgeFlow}); err != nil {
+			t.Fatal(err)
+		}
+		att = warm.AttributionInto(att, alloc.EdgeFlow)
+	}
+	// Warm-up rounds grow every scratch buffer to steady-state size.
+	for i := 0; i < 5; i++ {
+		round()
+	}
+	if avg := testing.AllocsPerRun(20, round); avg != 0 {
+		t.Fatalf("steady-state round allocates %v times per run, want 0", avg)
+	}
+}

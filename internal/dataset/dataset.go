@@ -12,6 +12,7 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/failures"
@@ -89,10 +90,21 @@ func (c Config) Validate() error {
 	if c.Ladder == nil {
 		return fmt.Errorf("dataset: nil modulation ladder")
 	}
-	return c.Fiber.Validate()
+	if err := c.Fiber.Validate(); err != nil {
+		return err
+	}
+	// Fibers × Wavelengths must fit an int: a wrapped Links() count
+	// silently truncates fleet sizes, progress totals, and admission
+	// budgets downstream. (Both factors are positive after the checks
+	// above, so the division-based probe is exact.)
+	if w := c.Fiber.Wavelengths; w > 0 && c.Fibers > math.MaxInt/w {
+		return fmt.Errorf("dataset: %d fibers x %d wavelengths overflows the link count", c.Fibers, w)
+	}
+	return nil
 }
 
-// Links returns the total number of links in the fleet.
+// Links returns the total number of links in the fleet. Validate
+// guarantees the product fits an int.
 func (c Config) Links() int { return c.Fibers * c.Fiber.Wavelengths }
 
 // LinkMeta identifies one wavelength in the fleet.

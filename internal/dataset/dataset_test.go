@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"time"
 
@@ -319,5 +320,28 @@ func BenchmarkAnalyzeLinkYear(b *testing.B) {
 		if _, err := Analyze(meta, series, cfg.Ladder); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestConfigValidateLinkCountOverflow: Fibers × Wavelengths beyond
+// int range must be rejected up front — a wrapped Links() count used
+// to surface later as a negative loop bound or a silent empty stream.
+func TestConfigValidateLinkCountOverflow(t *testing.T) {
+	bad := tinyConfig()
+	bad.Fibers = math.MaxInt / 2
+	bad.Fiber.Wavelengths = 4
+	if err := bad.Validate(); err == nil {
+		t.Fatal("overflowing fibers x wavelengths accepted")
+	}
+	// The exact boundary still validates: MaxInt/w fibers at w
+	// wavelengths is the largest representable link count.
+	edge := tinyConfig()
+	edge.Fiber.Wavelengths = 8
+	edge.Fibers = math.MaxInt / 8
+	if err := edge.Validate(); err != nil {
+		t.Fatalf("boundary link count rejected: %v", err)
+	}
+	if edge.Links() < 0 {
+		t.Fatalf("boundary Links() wrapped: %d", edge.Links())
 	}
 }

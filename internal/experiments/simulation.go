@@ -37,11 +37,26 @@ type ThroughputGainsResult struct {
 }
 
 // ThroughputGains runs static-100G, static-max, and dynamic operation
-// against identical SNR evolution and oversubscribed gravity traffic on
-// the Abilene backbone.
+// against identical SNR evolution and oversubscribed gravity traffic.
+// The backbone defaults to Abilene (the topology the figure notes were
+// calibrated on); Options.SimTopology swaps in any wan.ParseTopology
+// spec, up to paper-scale continental backbones.
 func ThroughputGains(o Options) (*ThroughputGainsResult, error) {
 	defer o.span("throughput-gains")()
 	net := wan.Abilene(2)
+	topoLabel := "Abilene (11 nodes, 14 fibers, 2 wavelengths)"
+	if o.SimTopology != "" {
+		wl := o.SimWavelengths
+		if wl <= 0 {
+			wl = 2
+		}
+		var err error
+		if net, err = wan.ParseTopology(o.SimTopology, wl, o.Seed^0x514); err != nil {
+			return nil, err
+		}
+		topoLabel = fmt.Sprintf("%s (%d nodes, %d fibers, %d wavelengths)",
+			o.SimTopology, net.G.NumNodes(), net.NumFibers, net.Wavelengths)
+	}
 	sim, err := wan.NewSimulation(wan.SimConfig{
 		Net:            net,
 		Rounds:         o.SimRounds,
@@ -49,6 +64,7 @@ func ThroughputGains(o Options) (*ThroughputGainsResult, error) {
 		Seed:           o.Seed ^ 0x514,
 		DemandFraction: 1.2,
 		DemandSigma:    0.1,
+		MaxDemands:     o.SimMaxDemands,
 		Obs:            o.Obs,
 		Workers:        o.Workers,
 		Flight:         o.Flight,
@@ -57,7 +73,7 @@ func ThroughputGains(o Options) (*ThroughputGainsResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &ThroughputGainsResult{Topology: "Abilene (11 nodes, 14 fibers, 2 wavelengths)", Rounds: o.SimRounds}
+	res := &ThroughputGainsResult{Topology: topoLabel, Rounds: o.SimRounds}
 	policies := []wan.Policy{wan.PolicyStatic100, wan.PolicyStaticMax, wan.PolicyDynamic}
 	runs, err := sim.RunPolicies(policies)
 	if err != nil {

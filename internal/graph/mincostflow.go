@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -14,107 +13,13 @@ import (
 // Negative edge costs are allowed as long as the graph has no
 // negative-cost cycle of positive capacity (an error is returned if one
 // is reachable from src).
+//
+// This is the cold entry point: it builds a fresh MCFSolver per call.
+// Callers that solve repeatedly over one graph (the TE round hot path)
+// should hold an MCFSolver and call Solve, which reuses the residual
+// layout and scratch buffers and produces bit-identical results.
 func (g *Graph) MinCostFlow(src, dst NodeID, limit float64) (FlowResult, error) {
-	if !g.HasNode(src) || !g.HasNode(dst) {
-		return FlowResult{}, fmt.Errorf("graph: MinCostFlow endpoints invalid: %d -> %d", int(src), int(dst))
-	}
-	if src == dst {
-		return FlowResult{EdgeFlow: make([]float64, g.NumEdges())}, nil
-	}
-	if limit < 0 || math.IsNaN(limit) {
-		return FlowResult{}, fmt.Errorf("graph: MinCostFlow limit %v invalid", limit)
-	}
-
-	r := newResidual(g)
-	n := r.n
-
-	// Initial potentials via Bellman-Ford to accommodate negative costs.
-	pot := make([]float64, n)
-	{
-		dist, neg := g.BellmanFord(src)
-		if neg {
-			return FlowResult{}, fmt.Errorf("graph: negative-cost cycle reachable from source")
-		}
-		for i, d := range dist {
-			if math.IsInf(d, 1) {
-				pot[i] = 0 // unreachable; potential unused
-			} else {
-				pot[i] = d
-			}
-		}
-	}
-
-	dist := make([]float64, n)
-	prevArc := make([]int, n)
-	var total, totalCost float64
-	var stats SolveStats
-
-	for total+Eps < limit {
-		// Dijkstra on reduced costs.
-		stats.Phases++
-		for i := range dist {
-			dist[i] = math.Inf(1)
-			prevArc[i] = -1
-		}
-		dist[src] = 0
-		pq := &dijkstraPQ{{node: src, dist: 0}}
-		done := make([]bool, n)
-		for pq.Len() > 0 {
-			it := heap.Pop(pq).(dijkstraItem)
-			u := it.node
-			if done[u] {
-				continue
-			}
-			done[u] = true
-			for _, a := range r.adj[u] {
-				if r.cap[a] <= Eps {
-					continue
-				}
-				v := r.head[a]
-				rc := r.cost[a] + pot[u] - pot[v]
-				if rc < 0 {
-					// Numerical slack: clamp tiny negatives.
-					if rc < -1e-6 {
-						return FlowResult{}, fmt.Errorf("graph: negative reduced cost %v (potential invariant broken)", rc)
-					}
-					rc = 0
-				}
-				if nd := dist[u] + rc; nd+Eps < dist[v] {
-					dist[v] = nd
-					prevArc[v] = a
-					heap.Push(pq, dijkstraItem{node: v, dist: nd})
-				}
-			}
-		}
-		if math.IsInf(dist[dst], 1) {
-			break // no augmenting path left
-		}
-		updatePotentials(pot, dist, dist[dst])
-		// Find bottleneck along the path.
-		push := limit - total
-		for v := dst; v != src; {
-			a := prevArc[v]
-			if r.cap[a] < push {
-				push = r.cap[a]
-			}
-			v = r.from(a)
-		}
-		if push <= Eps {
-			break
-		}
-		// Apply.
-		for v := dst; v != src; {
-			a := prevArc[v]
-			r.cap[a] -= push
-			r.cap[a^1] += push
-			totalCost += push * r.cost[a]
-			v = r.from(a)
-		}
-		total += push
-		stats.Augmentations++
-	}
-
-	return FlowResult{Value: total, EdgeFlow: r.flows(g), Cost: totalCost, Stats: stats}, nil
+	return NewMCFSolver(g).Solve(src, dst, limit, nil, nil)
 }
 
 // updatePotentials folds one Dijkstra phase's distances into the

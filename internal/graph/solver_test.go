@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestSolverMatchesMinCostFlowRandom: a fresh MCFSolver.Solve with nil
+// overrides is the same computation as Graph.MinCostFlow (which now
+// delegates to it); both must match bit for bit across random graphs.
+func TestSolverMatchesMinCostFlowRandom(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		g := randomGraph(seed, 9, 30)
+		want, wantErr := g.MinCostFlow(0, 8, math.Inf(1))
+		got, gotErr := NewMCFSolver(g).Solve(0, 8, math.Inf(1), nil, nil)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("seed %d: error mismatch: %v vs %v", seed, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		assertSameFlow(t, seed, got, want)
+	}
+}
+
+// TestSolverWarmMatchesColdPerturbed is the warm-start determinism
+// property: one solver reused across rounds of random capacity
+// perturbations (via the fwdCap override) must produce bit-identical
+// values, costs, and per-edge flows to a cold Graph.MinCostFlow over a
+// graph carrying those capacities.
+func TestSolverWarmMatchesColdPerturbed(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := randomGraph(seed^0x51ead, 10, 36)
+		nE := g.NumEdges()
+		solver := NewMCFSolver(g)
+		caps := make([]float64, nE)
+		flow := make([]float64, nE)
+		r := rng.New(seed ^ 0xfeed)
+		for round := 0; round < 12; round++ {
+			for i := range caps {
+				caps[i] = r.Uniform(0, 15)
+			}
+			limit := r.Uniform(1, 40)
+
+			warm, warmErr := solver.Solve(0, 9, limit, caps, flow)
+
+			cold := g.Clone()
+			for i := range caps {
+				cold.SetCapacity(EdgeID(i), caps[i])
+			}
+			want, wantErr := cold.MinCostFlow(0, 9, limit)
+
+			if (warmErr == nil) != (wantErr == nil) {
+				t.Fatalf("seed %d round %d: error mismatch: warm %v cold %v", seed, round, warmErr, wantErr)
+			}
+			if warmErr != nil {
+				continue
+			}
+			assertSameFlow(t, seed, warm, want)
+		}
+	}
+}
+
+// assertSameFlow compares two flow results bit for bit.
+func assertSameFlow(t *testing.T, seed uint64, got, want FlowResult) {
+	t.Helper()
+	if math.Float64bits(got.Value) != math.Float64bits(want.Value) {
+		t.Fatalf("seed %d: value %v != %v", seed, got.Value, want.Value)
+	}
+	if math.Float64bits(got.Cost) != math.Float64bits(want.Cost) {
+		t.Fatalf("seed %d: cost %v != %v", seed, got.Cost, want.Cost)
+	}
+	if len(got.EdgeFlow) != len(want.EdgeFlow) {
+		t.Fatalf("seed %d: edge flow lengths %d != %d", seed, len(got.EdgeFlow), len(want.EdgeFlow))
+	}
+	for i := range got.EdgeFlow {
+		if math.Float64bits(got.EdgeFlow[i]) != math.Float64bits(want.EdgeFlow[i]) {
+			t.Fatalf("seed %d: edge %d flow %v != %v", seed, i, got.EdgeFlow[i], want.EdgeFlow[i])
+		}
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("seed %d: stats %+v != %+v", seed, got.Stats, want.Stats)
+	}
+}
+
+// TestSolverSteadyStateZeroAlloc: once the solver's buffers have grown,
+// repeated Solve calls with caller-provided fwdCap/flowOut must not
+// allocate — the property the TE round hot path is built on.
+func TestSolverSteadyStateZeroAlloc(t *testing.T) {
+	g := randomGraph(7, 12, 48)
+	solver := NewMCFSolver(g)
+	nE := g.NumEdges()
+	caps := make([]float64, nE)
+	flow := make([]float64, nE)
+	r := rng.New(99)
+	round := func() {
+		for i := range caps {
+			caps[i] = r.Uniform(0, 12)
+		}
+		if _, err := solver.Solve(0, 11, math.Inf(1), caps, flow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		round()
+	}
+	if avg := testing.AllocsPerRun(20, round); avg != 0 {
+		t.Fatalf("steady-state Solve allocates %v times per run, want 0", avg)
+	}
+}
+
+// highCostLayeredGraph builds the ISSUE 8 audit scenario: a large
+// sparse layered graph (>= 10k edges) where every cheap real edge has
+// an expensive parallel "fake" edge (cost ~1e9, the augmentation's
+// high-penalty shape). Min-cost max-flow must route through many fake
+// edges, accumulating Johnson potentials of ~layers × 1e9.
+func highCostLayeredGraph(seed uint64, layers, width int) (*Graph, NodeID, NodeID) {
+	r := rng.New(seed)
+	g := New()
+	src := g.AddNode("src")
+	nodes := make([][]NodeID, layers)
+	for l := range nodes {
+		nodes[l] = make([]NodeID, width)
+		for k := range nodes[l] {
+			nodes[l][k] = g.AddNode("")
+		}
+	}
+	dst := g.AddNode("dst")
+	for _, v := range nodes[0] {
+		g.AddEdge(Edge{From: src, To: v, Capacity: 1e6})
+	}
+	for l := 0; l+1 < layers; l++ {
+		for _, u := range nodes[l] {
+			for _, v := range nodes[l+1] {
+				// Cheap real edge with thin capacity…
+				g.AddEdge(Edge{From: u, To: v, Capacity: r.Uniform(0.1, 1), Cost: r.Uniform(0, 5)})
+				// …and an expensive fake sibling with the headroom.
+				g.AddEdge(Edge{From: u, To: v, Capacity: r.Uniform(5, 20), Cost: r.Uniform(0.9e9, 1.1e9)})
+			}
+		}
+	}
+	for _, u := range nodes[layers-1] {
+		g.AddEdge(Edge{From: u, To: dst, Capacity: 1e6})
+	}
+	return g, src, dst
+}
+
+// TestMinCostFlowHighCostLargeSparse is the ISSUE 8 satellite-1
+// regression: on >= 10k-edge graphs whose high-cost fake edges drive
+// potentials to ~1e10, the reduced-cost check must tolerate the
+// proportional float64 rounding instead of aborting with a spurious
+// "negative reduced cost" error (the old fixed -1e-6 threshold sits
+// below the ~2e-6 rounding floor of 1e10-magnitude sums), and the
+// potential-bound invariant must hold throughout. The solve must also
+// remain a feasible flow.
+func TestMinCostFlowHighCostLargeSparse(t *testing.T) {
+	g, src, dst := highCostLayeredGraph(0x10a, 51, 10)
+	if n := g.NumEdges(); n < 10000 {
+		t.Fatalf("scenario too small: %d edges", n)
+	}
+	res, err := g.MinCostMaxFlow(src, dst)
+	if err != nil {
+		if strings.Contains(err.Error(), "negative reduced cost") ||
+			strings.Contains(err.Error(), "out of bounds") {
+			t.Fatalf("potential invariant misfired on a well-posed instance: %v", err)
+		}
+		t.Fatalf("MinCostMaxFlow: %v", err)
+	}
+	if res.Value <= 0 {
+		t.Fatalf("no flow shipped on a connected layered graph")
+	}
+	// Feasibility: every edge within capacity, conservation at interior
+	// nodes (net flow zero).
+	net := make([]float64, g.NumNodes())
+	for i, f := range res.EdgeFlow {
+		e := g.Edge(EdgeID(i))
+		if f < -1e-6 || f > e.Capacity+1e-6 {
+			t.Fatalf("edge %d flow %v outside [0, %v]", i, f, e.Capacity)
+		}
+		net[e.From] += f
+		net[e.To] -= f
+	}
+	for n := range net {
+		if NodeID(n) == src || NodeID(n) == dst {
+			continue
+		}
+		if net[n] > 1e-3 || net[n] < -1e-3 {
+			t.Fatalf("conservation violated at node %d: %v", n, net[n])
+		}
+	}
+	if math.Abs(net[src]-res.Value) > 1e-3 {
+		t.Fatalf("source imbalance %v != value %v", net[src], res.Value)
+	}
+}
+
+// TestNegRCTolScalesWithMagnitude pins the tolerance shape: strictly
+// more permissive than the old fixed 1e-6 floor (so no previously-
+// passing instance can newly error), and proportional to the operand
+// magnitudes so 1e10-scale potential sums get headroom above their
+// ~2e-6 float64 rounding floor.
+func TestNegRCTolScalesWithMagnitude(t *testing.T) {
+	if tol := negRCTol(0, 0, 0); tol < 1e-6 {
+		t.Fatalf("tolerance %v below the old absolute floor", tol)
+	}
+	tol := negRCTol(1e9, 1e10, -1e10)
+	if rounding := 2.1e10 * (1.0 / (1 << 52)); tol < rounding {
+		t.Fatalf("tolerance %v below the rounding floor %v of its operands", tol, rounding)
+	}
+	if tol > 1 {
+		t.Fatalf("tolerance %v large enough to mask real negative costs", tol)
+	}
+}

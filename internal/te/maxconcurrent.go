@@ -109,12 +109,16 @@ func (m MaxConcurrent) Allocate(g *graph.Graph, demands []Demand) (*Allocation, 
 	}
 	phases := 0
 	maxPhases := int(2*math.Log(float64(usable))/(eps*eps)) + 50 // safety bound
+	// One scratch set for every push: the GK inner loop runs Dijkstra
+	// once per path push, and allocating its buffers per call dominated
+	// the allocator profile at backbone scale.
+	scratch := newGKScratch(g.NumNodes())
 	for dual() < 1 && phases < maxPhases {
 		phases++
 		for _, i := range active {
 			remaining := demands[i].Volume
 			for remaining > graph.Eps && dual() < 1 {
-				p, _, ok := shortestByLength(g, demands[i].Src, demands[i].Dst, length, capOf)
+				p, _, ok := scratch.shortestByLength(g, demands[i].Src, demands[i].Dst, length, capOf)
 				alloc.Solver.Augmentations++
 				if !ok {
 					return nil, fmt.Errorf("te: demand %d disconnected on positive-capacity subgraph", i)
@@ -214,27 +218,49 @@ func (m MaxConcurrent) Allocate(g *graph.Graph, demands []Demand) (*Allocation, 
 	return alloc, nil
 }
 
+// gkItem is one heap entry in the GK Dijkstra.
+type gkItem struct {
+	node graph.NodeID
+	d    float64
+}
+
+// gkScratch holds the reusable Dijkstra buffers for Garg–Könemann path
+// pushes. One instance serves a whole Allocate call; it is local to the
+// call (MaxConcurrent values are shared across concurrent policies, so
+// the scratch cannot live on the struct).
+type gkScratch struct {
+	dist []float64
+	prev []graph.EdgeID
+	done []bool
+	heap []gkItem
+	rev  []graph.EdgeID
+	path graph.Path
+}
+
+func newGKScratch(n int) *gkScratch {
+	return &gkScratch{
+		dist: make([]float64, n),
+		prev: make([]graph.EdgeID, n),
+		done: make([]bool, n),
+	}
+}
+
 // shortestByLength is Dijkstra over the GK length function, restricted
-// to positive-capacity edges.
-func shortestByLength(g *graph.Graph, src, dst graph.NodeID, length, capOf []float64) (graph.Path, float64, bool) {
+// to positive-capacity edges. The returned Path aliases scratch buffers
+// and is only valid until the next call.
+func (s *gkScratch) shortestByLength(g *graph.Graph, src, dst graph.NodeID, length, capOf []float64) (graph.Path, float64, bool) {
 	// The graph package's Dijkstra runs over edge Weight; GK needs the
 	// evolving length function, so run a local Dijkstra here.
-	n := g.NumNodes()
-	dist := make([]float64, n)
-	prev := make([]graph.EdgeID, n)
-	done := make([]bool, n)
+	dist, prev, done := s.dist, s.prev, s.done
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		prev[i] = graph.NoEdge
+		done[i] = false
 	}
 	dist[src] = 0
-	type item struct {
-		node graph.NodeID
-		d    float64
-	}
 	// Simple binary heap.
-	heap := []item{{src, 0}}
-	push := func(it item) {
+	heap := append(s.heap[:0], gkItem{src, 0})
+	push := func(it gkItem) {
 		heap = append(heap, it)
 		i := len(heap) - 1
 		for i > 0 {
@@ -246,7 +272,7 @@ func shortestByLength(g *graph.Graph, src, dst graph.NodeID, length, capOf []flo
 			i = p
 		}
 	}
-	pop := func() item {
+	pop := func() gkItem {
 		top := heap[0]
 		heap[0] = heap[len(heap)-1]
 		heap = heap[:len(heap)-1]
@@ -286,25 +312,31 @@ func shortestByLength(g *graph.Graph, src, dst graph.NodeID, length, capOf []flo
 			if nd := dist[u] + length[id]; nd < dist[e.To] {
 				dist[e.To] = nd
 				prev[e.To] = id
-				push(item{e.To, nd})
+				push(gkItem{e.To, nd})
 			}
 		}
 	}
+	s.heap = heap[:0]
 	if math.IsInf(dist[dst], 1) {
 		return graph.Path{}, 0, false
 	}
 	// Reconstruct.
-	var rev []graph.EdgeID
+	rev := s.rev[:0]
 	for at := dst; at != src; {
 		id := prev[at]
 		rev = append(rev, id)
 		at = g.Edge(id).From
 	}
-	p := graph.Path{Nodes: []graph.NodeID{src}}
+	s.rev = rev
+	p := graph.Path{
+		Nodes: append(s.path.Nodes[:0], src),
+		Edges: s.path.Edges[:0],
+	}
 	for i := len(rev) - 1; i >= 0; i-- {
 		p.Edges = append(p.Edges, rev[i])
 		p.Nodes = append(p.Nodes, g.Edge(rev[i]).To)
 	}
+	s.path = p
 	return p, dist[dst], true
 }
 

@@ -41,9 +41,14 @@ type Demand struct {
 // byPriority returns demand indices ordered by ascending Priority,
 // stable within a class (preserving the operator's submission order).
 func byPriority(demands []Demand) []int {
-	idx := make([]int, len(demands))
-	for i := range idx {
-		idx[i] = i
+	return byPriorityInto(nil, demands)
+}
+
+// byPriorityInto is byPriority appending into a reusable buffer (pass
+// buf[:0] to reuse its backing array).
+func byPriorityInto(idx []int, demands []Demand) []int {
+	for i := range demands {
+		idx = append(idx, i)
 	}
 	// Stable insertion sort: len(demands) is small in TE rounds.
 	for i := 1; i < len(idx); i++ {

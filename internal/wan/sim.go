@@ -2,6 +2,8 @@ package wan
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"time"
 
 	"repro/internal/core"
@@ -63,6 +65,18 @@ type SimConfig struct {
 	DemandFraction float64
 	// DemandSigma is the per-round log-normal demand churn.
 	DemandSigma float64
+	// MaxDemands, when > 0, keeps only the largest MaxDemands gravity
+	// demands (heavy-hitter engineering). Continental topologies produce
+	// O(nodes²) demand pairs; production TE engineers the elephants and
+	// default-routes the tail, and so does the simulation at scale.
+	MaxDemands int
+	// ColdSolves disables warm-start state reuse: every round rebuilds
+	// the TE input graph, augmentation, and solver from scratch, exactly
+	// as if it were round zero. Results and artifacts are byte-identical
+	// to the default warm path — that equivalence is the determinism
+	// invariant the warm-vs-cold tests pin — so the switch exists for
+	// those tests and for benchmarking the warm path's speedup.
+	ColdSolves bool
 	// TE is the traffic-engineering algorithm (default Greedy — the
 	// cost-aware one the abstraction pairs best with).
 	TE te.Algorithm
@@ -155,11 +169,20 @@ func (c *SimConfig) Validate() error {
 	if c.Rounds <= 0 {
 		return fmt.Errorf("wan: need >= 1 round")
 	}
+	if c.RoundInterval < 0 {
+		return fmt.Errorf("wan: negative round interval %v", c.RoundInterval)
+	}
 	if c.DemandFraction < 0 {
 		return fmt.Errorf("wan: negative demand fraction")
 	}
 	if c.DemandSigma < 0 {
 		return fmt.Errorf("wan: negative demand sigma")
+	}
+	if c.MaxDemands < 0 {
+		return fmt.Errorf("wan: negative max demands %d", c.MaxDemands)
+	}
+	if saturatingHorizon(c.Rounds, c.RoundInterval) == math.MaxInt64 {
+		return fmt.Errorf("wan: %d rounds x %v round interval overflows the simulation horizon", c.Rounds, c.RoundInterval)
 	}
 	return nil
 }
@@ -249,7 +272,7 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 	root := rng.New(cfg.Seed)
 
 	// Samples needed to cover the horizon at telemetry cadence.
-	horizon := time.Duration(cfg.Rounds) * cfg.RoundInterval
+	horizon := saturatingHorizon(cfg.Rounds, cfg.RoundInterval)
 	nSamples := snr.SamplesFor(horizon)
 	if nSamples < cfg.Rounds {
 		nSamples = cfg.Rounds
@@ -317,6 +340,9 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.MaxDemands > 0 && len(demands) > cfg.MaxDemands {
+		demands = LargestDemands(demands, cfg.MaxDemands)
+	}
 	sim.demandsBase = demands
 
 	// Register the link table with the flight recorder once, up front:
@@ -330,6 +356,25 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 	return sim, nil
 }
 
+// saturatingHorizon returns rounds × interval, saturating at the
+// maximum Duration instead of wrapping. The naive product overflows
+// int64 nanoseconds at paper-scale horizons (e.g. one million rounds of
+// six hours ≈ 2.2×10¹⁹ ns > 2⁶³−1), turning the horizon negative and
+// snr.SamplesFor's cadence arithmetic with it. Saturation is the right
+// semantics: past ~292 years every cadence question answers "the
+// maximum", which the nSamples < rounds clamp below then corrects to
+// one sample per round.
+func saturatingHorizon(rounds int, interval time.Duration) time.Duration {
+	if rounds <= 0 || interval <= 0 {
+		return 0
+	}
+	hi, lo := bits.Mul64(uint64(rounds), uint64(interval))
+	if hi != 0 || lo > math.MaxInt64 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(lo)
+}
+
 // roundSampleIndex maps TE round r to the telemetry sample it observes,
 // spreading the rounds evenly over the whole generated horizon.
 //
@@ -338,8 +383,17 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 // invisible to every policy. r*nSamples/rounds covers the full horizon
 // and reduces to the same indices whenever rounds divides nSamples
 // (the default cadence), keeping same-seed goldens unchanged there.
+//
+// The product r*nSamples is evaluated in 128 bits: at paper-scale
+// horizons (hundreds of thousands of rounds × millions of samples) the
+// intermediate overflows int64 and the naive expression returns a
+// garbage — possibly negative — index. The 128÷64 divide cannot trap:
+// r < rounds and nSamples < 2⁶³ give hi = ⌊r·nSamples/2⁶⁴⌋ < rounds,
+// and the quotient r·nSamples/rounds < nSamples fits in 64 bits.
 func roundSampleIndex(r, rounds, nSamples int) int {
-	return r * nSamples / rounds
+	hi, lo := bits.Mul64(uint64(r), uint64(nSamples))
+	q, _ := bits.Div64(hi, lo, uint64(rounds))
+	return int(q)
 }
 
 // FeasibleAt returns the feasible capacity of fiber f wavelength w at
@@ -388,6 +442,44 @@ func (s *Simulation) RunPolicies(policies []Policy) ([]*Result, error) {
 	return out, nil
 }
 
+// policyState is the warm-start solver state one policy run keeps
+// between rounds: a private working graph (so the shared net.G is never
+// mutated), the persistent topology + augmenter whose structure is
+// stable across rounds, the warmed TE algorithm, and reusable output
+// buffers. None of it is *semantic* state — every field is rebuilt from
+// scratch each round under ColdSolves and the results are byte-
+// identical; what the policy genuinely carries across rounds
+// (configured capacities, prevFlow, the traffic RNG, the alert engine)
+// lives in runPolicy locals instead.
+type policyState struct {
+	work *graph.Graph
+	// top and aug are only set for PolicyDynamic.
+	top *core.Topology
+	aug *core.Augmenter
+	alg te.Algorithm
+	dec core.Decision
+	att []core.FakeAttribution
+	// demandBuf backs the per-round perturbed demand set.
+	demandBuf []te.Demand
+}
+
+// newPolicyState builds fresh solver state for one policy run.
+func (s *Simulation) newPolicyState(policy Policy) (*policyState, error) {
+	st := &policyState{
+		work: s.cfg.Net.G.Clone(),
+		alg:  te.NewWarm(s.cfg.TE),
+	}
+	if policy == PolicyDynamic {
+		st.top = core.NewTopology(st.work)
+		var err error
+		st.aug, err = core.NewAugmenter(st.top, s.cfg.Penalty)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
 // runPolicy is Run with an explicit observability sink, so concurrent
 // policy runs can record into private children. It only reads the
 // shared pre-generated state (snrAt, demandsBase, cfg).
@@ -413,6 +505,7 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 
 	trafficRng := rng.New(cfg.Seed ^ 0x5eed)
 	prevFlow := make([]float64, net.G.NumEdges())
+	nEdges := net.G.NumEdges()
 
 	// Per-policy alert engine: rules see this policy's registry only
 	// (children merge back in policy order, so the combined artifacts
@@ -420,16 +513,36 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 	eng := alert.NewEngine(o, cfg.Alerts...)
 	plog := o.Logger().With("policy", policy.String())
 
+	st, err := s.newPolicyState(policy)
+	if err != nil {
+		return nil, err
+	}
+
 	for r := 0; r < cfg.Rounds; r++ {
+		if cfg.ColdSolves {
+			// Cold mode: round zero conditions every round — fresh
+			// working graph, topology, augmenter, solver, buffers.
+			if st, err = s.newPolicyState(policy); err != nil {
+				return nil, err
+			}
+		}
 		// The simulation clock is the trace timebase: round × interval.
 		o.SetSimTime(time.Duration(r) * cfg.RoundInterval)
-		endRound := o.Span("wan.round",
-			obs.A("policy", policy.String()), obs.A("round", r))
-		endPhase := o.PhaseTimer(fmt.Sprintf("%s/round%03d", policy, r))
+		// Span/PhaseTimer calls allocate their labels at the call site,
+		// so the disabled-observability round stays allocation-free.
+		endRound, endPhase := noopEnd, noopEnd
+		if o != nil {
+			endRound = o.Span("wan.round",
+				obs.A("policy", policy.String()), obs.A("round", r))
+			endPhase = o.PhaseTimer(fmt.Sprintf("%s/round%03d", policy, r))
+		}
 
 		demands := s.demandsBase
 		if cfg.DemandSigma > 0 {
-			demands = PerturbTraffic(demands, cfg.DemandSigma, trafficRng)
+			if len(st.demandBuf) != len(demands) {
+				st.demandBuf = make([]te.Demand, len(demands))
+			}
+			demands = PerturbTrafficInto(st.demandBuf, demands, cfg.DemandSigma, trafficRng)
 		}
 		var offered float64
 		for _, d := range demands {
@@ -439,12 +552,14 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 		metrics := RoundMetrics{Round: r, OfferedGbps: offered, MinSNRdB: s.minSNRAt(r)}
 		var fr flightRound
 
-		// Build this round's IP capacities; count forced changes.
-		g := net.G.Clone()
+		// Build this round's IP capacities; count forced changes. Every
+		// edge's capacity on st.work is rewritten below before the TE
+		// reads it, so carrying last round's values over is safe.
+		work := st.work
 		switch policy {
 		case PolicyStatic100, PolicyStaticMax:
-			for _, e := range g.Edges() {
-				f := net.FiberOf[e.ID]
+			for id := 0; id < nEdges; id++ {
+				f := net.FiberOf[id]
 				var capSum modulation.Gbps
 				for w := 0; w < net.Wavelengths; w++ {
 					th, err := cfg.Ladder.ThresholdFor(configured[f][w])
@@ -457,19 +572,21 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 					// Below threshold: wavelength is DOWN (binary rule);
 					// not a capacity change, an outage.
 				}
-				g.SetCapacity(e.ID, float64(capSum))
+				work.SetCapacity(graph.EdgeID(id), float64(capSum))
 			}
-			alloc, err := cfg.TE.Allocate(g, demands)
+			alloc, err := st.alg.Allocate(work, demands)
 			if err != nil {
 				return nil, err
 			}
 			s.recordSolver(o, policy, alloc.Solver)
 			metrics.ShippedGbps = alloc.Throughput
-			metrics.CapacityGbps = g.TotalCapacity()
+			metrics.CapacityGbps = work.TotalCapacity()
 			copy(prevFlow, alloc.EdgeFlow)
-			fr = flightRound{
-				capOn:  func(id graph.EdgeID) float64 { return g.Edge(id).Capacity },
-				flowOn: alloc.FlowOn,
+			if cfg.Flight != nil {
+				fr = flightRound{
+					capOn:  func(id graph.EdgeID) float64 { return work.Edge(id).Capacity },
+					flowOn: alloc.FlowOn,
+				}
 			}
 
 		case PolicyDynamic:
@@ -496,10 +613,13 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 				}
 			}
 			// 2. Build the TE input: current capacities plus upgrade
-			//    headroom, traffic annotations from last round.
-			top := core.NewTopology(g)
-			for _, e := range g.Edges() {
-				f := net.FiberOf[e.ID]
+			//    headroom, traffic annotations from last round. The
+			//    unconditional SetUpgrade matters: zero headroom deletes
+			//    the entry, clearing last round's upgrade from the
+			//    persistent topology.
+			for id := 0; id < nEdges; id++ {
+				eid := graph.EdgeID(id)
+				f := net.FiberOf[id]
 				var cur, headroom modulation.Gbps
 				for w := 0; w < net.Wavelengths; w++ {
 					cur += configured[f][w]
@@ -507,32 +627,29 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 						headroom += feas - configured[f][w]
 					}
 				}
-				g.SetCapacity(e.ID, float64(cur))
-				if headroom > 0 {
-					if err := top.SetUpgrade(e.ID, float64(headroom), 1); err != nil {
-						return nil, err
-					}
+				work.SetCapacity(eid, float64(cur))
+				if err := st.top.SetUpgrade(eid, float64(headroom), 1); err != nil {
+					return nil, err
 				}
-				if err := top.SetTraffic(e.ID, prevFlow[e.ID]); err != nil {
+				if err := st.top.SetTraffic(eid, prevFlow[id]); err != nil {
 					return nil, err
 				}
 			}
-			aug, err := core.Augment(top, cfg.Penalty)
-			if err != nil {
+			if err := st.aug.Refresh(); err != nil {
 				return nil, err
 			}
-			alloc, err := cfg.TE.Allocate(aug.Graph, demands)
+			alloc, err := st.alg.Allocate(st.aug.G, demands)
 			if err != nil {
 				return nil, err
 			}
 			s.recordSolver(o, policy, alloc.Solver)
-			dec, err := aug.Translate(graph.FlowResult{
+			if err := st.aug.TranslateInto(&st.dec, graph.FlowResult{
 				Value:    alloc.Throughput,
 				EdgeFlow: alloc.EdgeFlow,
-			})
-			if err != nil {
+			}); err != nil {
 				return nil, err
 			}
+			dec := &st.dec
 			// 3. Apply upgrades: raise every wavelength of a changed
 			//    link to its feasible capacity.
 			var upgraded map[graph.EdgeID]bool
@@ -558,8 +675,8 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 			metrics.ShippedGbps = dec.Value
 			// Capacity after decisions.
 			var capTotal float64
-			for _, e := range net.G.Edges() {
-				f := net.FiberOf[e.ID]
+			for id := 0; id < nEdges; id++ {
+				f := net.FiberOf[id]
 				for w := 0; w < net.Wavelengths; w++ {
 					capTotal += float64(configured[f][w])
 				}
@@ -567,8 +684,9 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 			metrics.CapacityGbps = capTotal
 			copy(prevFlow, dec.EdgeFlow)
 			if cfg.Flight != nil {
-				attMap := make(map[graph.EdgeID]core.FakeAttribution)
-				for _, att := range aug.Attribution(alloc.EdgeFlow) {
+				st.att = st.aug.AttributionInto(st.att, alloc.EdgeFlow)
+				attMap := make(map[graph.EdgeID]core.FakeAttribution, len(st.att))
+				for _, att := range st.att {
 					attMap[att.Real] = att
 				}
 				edgeFlow := dec.EdgeFlow
@@ -599,8 +717,8 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 
 		// Dark links: zero-capacity adjacencies this round.
 		dark := 0
-		for _, e := range net.G.Edges() {
-			f := net.FiberOf[e.ID]
+		for id := 0; id < nEdges; id++ {
+			f := net.FiberOf[id]
 			var c modulation.Gbps
 			for w := 0; w < net.Wavelengths; w++ {
 				switch policy {
@@ -624,14 +742,16 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 		// Alerts evaluate after the round's gauges are current, on the
 		// round's simulation timestamp.
 		eng.EvalRound(r)
-		plog.Debug("round complete",
-			"round", r,
-			"offered_gbps", metrics.OfferedGbps,
-			"shipped_gbps", metrics.ShippedGbps,
-			"satisfied", metrics.SatisfiedFraction(),
-			"changes", metrics.Changes,
-			"dark_links", metrics.LinksDark,
-			"min_snr_db", metrics.MinSNRdB)
+		if o != nil {
+			plog.Debug("round complete",
+				"round", r,
+				"offered_gbps", metrics.OfferedGbps,
+				"shipped_gbps", metrics.ShippedGbps,
+				"satisfied", metrics.SatisfiedFraction(),
+				"changes", metrics.Changes,
+				"dark_links", metrics.LinksDark,
+				"min_snr_db", metrics.MinSNRdB)
+		}
 		endRound()
 		endPhase()
 		res.Rounds = append(res.Rounds, metrics)
@@ -645,6 +765,10 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 		"alerts_fired", len(eng.Summary()))
 	return res, nil
 }
+
+// noopEnd is the disabled-observability span/phase closer; a shared
+// package-level func keeps the round loop from allocating one.
+var noopEnd = func() {}
 
 // minSNRAt returns the lowest SNR across every fiber and wavelength at
 // round r.

@@ -2,6 +2,7 @@ package wan
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -69,15 +70,49 @@ func TopKDemands(demands []te.Demand, k int) []te.Demand {
 	return sorted[:k]
 }
 
+// LargestDemands is TopKDemands at scale: it keeps the k largest
+// demands using an O(n log n) sort instead of the O(n²) insertion sort,
+// which matters for continental gravity matrices (hundreds of nodes →
+// tens of thousands of demand pairs). Ties break by ascending (Src,
+// Dst) so the result is a deterministic function of the input set, not
+// of its ordering. Returns demands largest-first; the input slice is
+// not modified.
+func LargestDemands(demands []te.Demand, k int) []te.Demand {
+	if k <= 0 || len(demands) == 0 {
+		return nil
+	}
+	sorted := append([]te.Demand(nil), demands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Volume != sorted[j].Volume { //nolint:nofloateq // comparator tie-break: tolerance would break strict weak ordering
+			return sorted[i].Volume > sorted[j].Volume
+		}
+		if sorted[i].Src != sorted[j].Src {
+			return sorted[i].Src < sorted[j].Src
+		}
+		return sorted[i].Dst < sorted[j].Dst
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
 // PerturbTraffic returns a copy of demands with each volume multiplied
 // by a log-normal factor — the round-to-round traffic churn that makes
 // TE re-run (the paper's "next round of TE computation" with increased
 // demands).
 func PerturbTraffic(demands []te.Demand, sigma float64, r *rng.Source) []te.Demand {
-	out := make([]te.Demand, len(demands))
+	return PerturbTrafficInto(make([]te.Demand, len(demands)), demands, sigma, r)
+}
+
+// PerturbTrafficInto is PerturbTraffic writing into dst (which must
+// have len(demands) entries), so the round loop can reuse one buffer
+// instead of allocating a demand set per round. dst and demands may not
+// alias: demandsBase must stay pristine across rounds.
+func PerturbTrafficInto(dst, demands []te.Demand, sigma float64, r *rng.Source) []te.Demand {
 	for i, d := range demands {
 		d.Volume *= r.LogNormal(0, sigma)
-		out[i] = d
+		dst[i] = d
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,136 @@
+package wan
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// runWarmCold runs the same configuration twice — warm-start solver
+// state (the default) and ColdSolves — applying the same randomized
+// per-round SNR perturbations to both, and returns results plus
+// serialized metrics/trace artifacts for each.
+func runWarmCold(t *testing.T, cfg SimConfig, policies []Policy, perturb func(*Simulation)) (warm, cold []*Result, warmArt, coldArt [2][]byte) {
+	t.Helper()
+	run := func(coldSolves bool) ([]*Result, [2][]byte) {
+		c := cfg
+		c.ColdSolves = coldSolves
+		o := obs.New("wan-warmcold")
+		c.Obs = o
+		sim, err := NewSimulation(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perturb != nil {
+			perturb(sim)
+		}
+		res, err := sim.RunPolicies(policies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prom, trace bytes.Buffer
+		if err := o.Metrics.WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Trace.WriteJSONL(&trace); err != nil {
+			t.Fatal(err)
+		}
+		return res, [2][]byte{prom.Bytes(), trace.Bytes()}
+	}
+	warm, warmArt = run(false)
+	cold, coldArt = run(true)
+	return warm, cold, warmArt, coldArt
+}
+
+// assertRunsIdentical compares warm and cold runs field by field
+// (Float64bits on every metric — bit identity, not tolerance).
+func assertRunsIdentical(t *testing.T, warm, cold []*Result, warmArt, coldArt [2][]byte) {
+	t.Helper()
+	if len(warm) != len(cold) {
+		t.Fatalf("result counts differ: %d vs %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		w, c := warm[i], cold[i]
+		if w.Policy != c.Policy || len(w.Rounds) != len(c.Rounds) {
+			t.Fatalf("run %d shape differs: %v/%d vs %v/%d", i, w.Policy, len(w.Rounds), c.Policy, len(c.Rounds))
+		}
+		for r := range w.Rounds {
+			wm, cm := w.Rounds[r], c.Rounds[r]
+			if wm.Round != cm.Round || wm.Changes != cm.Changes || wm.LinksDark != cm.LinksDark ||
+				math.Float64bits(wm.OfferedGbps) != math.Float64bits(cm.OfferedGbps) ||
+				math.Float64bits(wm.ShippedGbps) != math.Float64bits(cm.ShippedGbps) ||
+				math.Float64bits(wm.CapacityGbps) != math.Float64bits(cm.CapacityGbps) ||
+				math.Float64bits(wm.DisruptedGbpsSec) != math.Float64bits(cm.DisruptedGbpsSec) ||
+				math.Float64bits(wm.MinSNRdB) != math.Float64bits(cm.MinSNRdB) {
+				t.Fatalf("policy %v round %d differs:\nwarm %+v\ncold %+v", w.Policy, r, wm, cm)
+			}
+		}
+		if !reflect.DeepEqual(w.Rounds, c.Rounds) {
+			t.Fatalf("policy %v rounds differ beyond compared fields", w.Policy)
+		}
+	}
+	if !bytes.Equal(warmArt[0], coldArt[0]) {
+		t.Fatal("warm and cold metrics artifacts differ")
+	}
+	if !bytes.Equal(warmArt[1], coldArt[1]) {
+		t.Fatal("warm and cold trace artifacts differ")
+	}
+}
+
+// TestWarmStartMatchesColdSolves is the tentpole determinism
+// invariant: warm-start solver state reused across rounds produces
+// byte-identical results and artifacts to rebuilding everything each
+// round, across all three policies, under randomized per-round SNR
+// perturbation sequences.
+func TestWarmStartMatchesColdSolves(t *testing.T) {
+	cfg := testSimConfig(t)
+	cfg.DemandSigma = 0.1
+	policies := []Policy{PolicyStatic100, PolicyStaticMax, PolicyDynamic}
+	// Randomized SNR perturbations, same seeded sequence for both runs:
+	// dips and spikes at random (fiber, wavelength, round) cells force
+	// forced-downgrade and upgrade churn so the warm topology/augmenter
+	// state is genuinely exercised (entries appearing, mutating, and
+	// disappearing between rounds).
+	perturb := func(sim *Simulation) {
+		r := rng.New(0xd1b)
+		for i := 0; i < 40; i++ {
+			f := r.Intn(cfg.Net.NumFibers)
+			w := r.Intn(cfg.Net.Wavelengths)
+			round := r.Intn(cfg.Rounds)
+			if err := sim.OverrideSNR(f, w, round, r.Uniform(2, 22)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm, cold, warmArt, coldArt := runWarmCold(t, cfg, policies, perturb)
+	assertRunsIdentical(t, warm, cold, warmArt, coldArt)
+}
+
+// TestWarmStartMatchesColdSolvesContinental runs the same invariant on
+// a (small) continental topology with a demand cap, so the paper-scale
+// code path — ParseTopology, MaxDemands, LengthAware SNR — is the one
+// being pinned.
+func TestWarmStartMatchesColdSolvesContinental(t *testing.T) {
+	net, err := ParseTopology("continental:24", 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SimConfig{
+		Net:            net,
+		Rounds:         8,
+		RoundInterval:  6 * time.Hour,
+		Seed:           41,
+		DemandFraction: 0.8,
+		DemandSigma:    0.1,
+		MaxDemands:     96,
+		LengthAware:    true,
+	}
+	policies := []Policy{PolicyStatic100, PolicyDynamic}
+	warm, cold, warmArt, coldArt := runWarmCold(t, cfg, policies, nil)
+	assertRunsIdentical(t, warm, cold, warmArt, coldArt)
+}
