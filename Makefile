@@ -60,10 +60,12 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# BENCH_SHA / BENCH_DATE label the appended BENCH_history.jsonl line;
-# both default to git facts (commit SHA and commit date) so the record
-# never reads the wall clock and re-running on the same commit appends
-# an identical line.
+# BENCH_SHA / BENCH_DATE label the BENCH_history.jsonl entry; both
+# default to git facts (commit SHA and commit date) so the record
+# never reads the wall clock. -merge dedupes by SHA, so re-running on
+# the same commit updates that commit's entry in place instead of
+# appending a duplicate line (which would make rwc-perfdiff's -old-sha
+# selection ambiguous).
 BENCH_SHA ?= $(shell git rev-parse --short HEAD)
 BENCH_DATE ?= $(shell git log -1 --format=%cs)
 
@@ -72,8 +74,8 @@ BENCH_DATE ?= $(shell git log -1 --format=%cs)
 # ns/op, allocs/op, and each b.ReportMetric headline number.
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/rwc-benchjson > BENCH_quick.json
-	$(GO) test -run '^$$' -bench=History -benchmem ./internal/obs/... | $(GO) run ./cmd/rwc-benchjson -jsonl -sha "$(BENCH_SHA)" -date "$(BENCH_DATE)" >> BENCH_history.jsonl
-	$(GO) test -run '^$$' -bench='SteadyStateRound|ContinentalRound|ThroughputGains$$' -benchmem -benchtime=1x . | $(GO) run ./cmd/rwc-benchjson -jsonl -sha "$(BENCH_SHA)" -date "$(BENCH_DATE)" >> BENCH_history.jsonl
+	$(GO) test -run '^$$' -bench=History -benchmem ./internal/obs/... | $(GO) run ./cmd/rwc-benchjson -sha "$(BENCH_SHA)" -date "$(BENCH_DATE)" -merge BENCH_history.jsonl
+	$(GO) test -run '^$$' -bench='SteadyStateRound|ContinentalRound|ThroughputGains$$' -benchmem -benchtime=1x . | $(GO) run ./cmd/rwc-benchjson -sha "$(BENCH_SHA)" -date "$(BENCH_DATE)" -merge BENCH_history.jsonl
 
 # Regenerate every paper figure (minutes at paper scale).
 experiments:

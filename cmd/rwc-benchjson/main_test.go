@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkSolve-8   \t 1234  812.5 ns/op  96 B/op  3 allocs/op  0.970 satisfied")
+	if !ok {
+		t.Fatal("benchmark line did not parse")
+	}
+	if name != "BenchmarkSolve" {
+		t.Fatalf("name = %q, want GOMAXPROCS suffix stripped", name)
+	}
+	if r.Iterations != 1234 || r.NsPerOp != 812.5 || r.BytesPerOp != 96 || r.AllocsOp != 3 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics["satisfied"] != 0.970 {
+		t.Fatalf("custom metric = %v", r.Metrics)
+	}
+	for _, bad := range []string{"goos: linux", "PASS", "ok  repro 1.2s", "BenchmarkX only"} {
+		if _, _, ok := parseLine(bad); ok {
+			t.Fatalf("non-benchmark line parsed: %q", bad)
+		}
+	}
+}
+
+func readHistory(t *testing.T, path string) []historyRecord {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []historyRecord
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e historyRecord
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad history line %q: %v", line, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+func TestMergeHistoryCreatesAndAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	if err := mergeHistory(path, historyRecord{SHA: "aaa", Date: "2026-08-01",
+		Benchmarks: map[string]result{"BenchmarkX": {Iterations: 1, NsPerOp: 10}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeHistory(path, historyRecord{SHA: "bbb", Date: "2026-08-02",
+		Benchmarks: map[string]result{"BenchmarkX": {Iterations: 1, NsPerOp: 11}}}); err != nil {
+		t.Fatal(err)
+	}
+	entries := readHistory(t, path)
+	if len(entries) != 2 || entries[0].SHA != "aaa" || entries[1].SHA != "bbb" {
+		t.Fatalf("entries = %+v, want aaa then bbb", entries)
+	}
+}
+
+func TestMergeHistoryReplacesSameSHA(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	seed := []historyRecord{
+		{SHA: "aaa", Date: "2026-08-01", Benchmarks: map[string]result{
+			"BenchmarkX": {Iterations: 1, NsPerOp: 10},
+			"BenchmarkY": {Iterations: 1, NsPerOp: 20},
+		}},
+		{SHA: "bbb", Date: "2026-08-02", Benchmarks: map[string]result{
+			"BenchmarkX": {Iterations: 1, NsPerOp: 11},
+		}},
+	}
+	for _, e := range seed {
+		if err := mergeHistory(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-running the suite at aaa: BenchmarkX replaced, BenchmarkZ
+	// added, BenchmarkY (not in this run) kept, order preserved, no
+	// duplicate line.
+	if err := mergeHistory(path, historyRecord{SHA: "aaa", Date: "2026-08-03",
+		Benchmarks: map[string]result{
+			"BenchmarkX": {Iterations: 2, NsPerOp: 12},
+			"BenchmarkZ": {Iterations: 1, NsPerOp: 30},
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	entries := readHistory(t, path)
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want merge not append: %+v", len(entries), entries)
+	}
+	a := entries[0]
+	if a.SHA != "aaa" || entries[1].SHA != "bbb" {
+		t.Fatalf("order changed: %+v", entries)
+	}
+	if a.Date != "2026-08-03" {
+		t.Fatalf("date = %q, want the re-run's date", a.Date)
+	}
+	if a.Benchmarks["BenchmarkX"].NsPerOp != 12 {
+		t.Fatalf("BenchmarkX not replaced: %+v", a.Benchmarks["BenchmarkX"])
+	}
+	if a.Benchmarks["BenchmarkY"].NsPerOp != 20 {
+		t.Fatalf("BenchmarkY lost: %+v", a.Benchmarks)
+	}
+	if a.Benchmarks["BenchmarkZ"].NsPerOp != 30 {
+		t.Fatalf("BenchmarkZ not added: %+v", a.Benchmarks)
+	}
+}
+
+func TestMergeHistoryRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	if err := os.WriteFile(path, []byte("{\"sha\":\"aaa\",\"benchmarks\":{}}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := mergeHistory(path, historyRecord{SHA: "bbb", Benchmarks: map[string]result{}})
+	if err == nil {
+		t.Fatal("corrupt history must fail loudly, not be rewritten")
+	}
+	// The atomic rewrite never touched the original.
+	data, rerr := os.ReadFile(path)
+	if rerr != nil || !strings.Contains(string(data), "not json") {
+		t.Fatalf("original file was modified: %q (%v)", data, rerr)
+	}
+}

@@ -6,8 +6,9 @@
 //	rwc-experiments [-quick] [-seed N] [-figure name] [-workers N]
 //	                [-metrics-out m.prom] [-trace-out t.jsonl]
 //	                [-manifest-out run.json] [-hist-out run.hist]
-//	                [-hist-retain N] [-hist-budget N] [-serve addr]
-//	                [-pprof addr] [-log level] [-linger]
+//	                [-hist-retain N] [-hist-budget N]
+//	                [-perf-out perf.json] [-perf-profile-dir d]
+//	                [-serve addr] [-pprof addr] [-log level] [-linger]
 //
 // Figures: fig1, fig2a, fig2b, fig3a, fig3b, fig4, fig4c, fig5, fig6b,
 // fig7, fig8, theorem1, throughput, availability, sensitivity,
@@ -21,6 +22,14 @@
 // /healthz, /readyz, /runz, the SSE /traces tail, /debug/pprof —
 // without perturbing the run. -log enables structured stderr progress
 // logging; -linger keeps serving after the figures finish.
+//
+// -perf-out writes the wall-clock perf artifact (internal/obs/perf):
+// one latency phase per figure, runtime memory/GC deltas, and a copy
+// of the deterministic rwc_work_* counters; /perfz serves the live
+// snapshot. Wall capture is a segregated side channel — enabling it
+// leaves stdout and every other artifact byte-identical.
+// -perf-profile-dir additionally writes run-scoped cpu.pprof and
+// heap.pprof under the given directory.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"repro/internal/obs/flight"
 	"repro/internal/obs/hist"
 	"repro/internal/obs/olog"
+	"repro/internal/obs/perf"
 	"repro/internal/obs/serve"
 	"repro/internal/par"
 	"repro/internal/wan"
@@ -66,6 +76,8 @@ func main() {
 	histOut := flag.String("hist-out", "", "enable the metrics-history store and write it to this file at exit (binary; .jsonl suffix selects JSONL)")
 	histRetain := flag.Int("hist-retain", hist.DefaultRetain, "raw samples retained per history series before downsampling")
 	histBudget := flag.Int("hist-budget", hist.DefaultMaxSeries, "cardinality budget: history series admitted per fan-out shard (negative = unlimited)")
+	perfOut := flag.String("perf-out", "", "write the wall-clock perf artifact (per-figure latencies, memory deltas, rwc_work_* copy) to this file; never perturbs the deterministic artifacts")
+	perfProfileDir := flag.String("perf-profile-dir", "", "also write run-scoped cpu.pprof and heap.pprof under this directory (requires -perf-out)")
 	simTopology := flag.String("sim-topology", "", "override the throughput simulation's backbone (abilene, us, random[:N], continental:N); empty keeps Abilene")
 	simWavelengths := flag.Int("sim-wavelengths", 0, "wavelengths per fiber for -sim-topology runs (0 = 2)")
 	simMaxDemands := flag.Int("sim-max-demands", 0, "keep only the N largest gravity demands in the throughput simulation (0 = all; continental topologies default to 4×nodes)")
@@ -118,10 +130,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rwc-experiments: %v\n", err)
 		os.Exit(2)
 	}
+	if *perfProfileDir != "" && *perfOut == "" {
+		fmt.Fprintf(os.Stderr, "rwc-experiments: -perf-profile-dir requires -perf-out\n")
+		os.Exit(2)
+	}
 
 	var o *obs.Obs
 	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" || *flightOut != "" ||
-		*histOut != "" || *serveAddr != "" || *pprofAddr != "" || *logLevel != "" {
+		*histOut != "" || *perfOut != "" || *serveAddr != "" || *pprofAddr != "" || *logLevel != "" {
 		o = obs.New("rwc-experiments")
 		start := time.Now()
 		o.Wall = obs.ClockFunc(func() time.Duration { return time.Since(start) })
@@ -155,6 +171,20 @@ func main() {
 		o.Metrics.SetHistory(histStore.Root().Bind(o.Clock))
 	}
 
+	// The perf recorder is the wall-clock side channel: one latency
+	// phase per figure, never merged into the deterministic sinks, so
+	// every artifact below stays byte-identical with or without it.
+	var perfRec *perf.Recorder
+	if *perfOut != "" {
+		perfRec = perf.New("rwc-experiments")
+		if *perfProfileDir != "" {
+			if err := perfRec.StartProfiles(*perfProfileDir); err != nil {
+				fmt.Fprintf(os.Stderr, "rwc-experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	// The live operations plane shares one helper with rwc-wansim
 	// (internal/obs/serve); serving reads snapshots only, so figures
 	// and artifacts are unaffected.
@@ -167,7 +197,7 @@ func main() {
 	}
 	var servers []*serve.Server
 	for _, addr := range addrs {
-		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-experiments", Seed: opts.Seed, Flight: opts.Flight, Hist: histStore})
+		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-experiments", Seed: opts.Seed, Flight: opts.Flight, Hist: histStore, Perf: perfRec})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rwc-experiments: %v\n", err)
 			os.Exit(1)
@@ -254,7 +284,11 @@ func main() {
 		func(worker, i int) (tabler, error) {
 			fopts := opts
 			fopts.Obs = children[i]
+			// One perf phase per figure; Phase on a nil recorder is a
+			// no-op, so the plain path pays nothing.
+			endPerf := perfRec.Phase("experiments.figure/" + selected[i])
 			res, err := registry[selected[i]](fopts)
+			endPerf()
 			if err != nil {
 				return nil, fmt.Errorf("%s: %v", selected[i], err)
 			}
@@ -311,6 +345,18 @@ func main() {
 		if opts.Flight != nil {
 			write(*flightOut, func(f *os.File) error {
 				return opts.Flight.WriteLog(f, flight.Meta{Tool: "rwc-experiments", Seed: int64(opts.Seed)}, o)
+			})
+		}
+		// Profiles stop before the perf artifact so the heap snapshot
+		// covers the whole run; the Work section copies the final
+		// rwc_work_* totals out of the deterministic registry.
+		if perfRec != nil {
+			if err := perfRec.StopProfiles(); err != nil {
+				fmt.Fprintf(os.Stderr, "rwc-experiments: %v\n", err)
+				os.Exit(1)
+			}
+			write(*perfOut, func(f *os.File) error {
+				return perfRec.WriteJSON(f, perf.FilterWork(o.Metrics.Totals()))
 			})
 		}
 	}

@@ -17,8 +17,14 @@
 // With -check, each file is parse-validated only (no comparison); any
 // unparsable file is an error. Manifests compare seeds, metric totals,
 // and alert summaries; wall-clock phase durations are excluded (two
-// runs always differ there). Flight logs (.flight) delegate to the
-// rwc-replay bisect engine: the first diverging (round, link, field)
+// runs always differ there). A .json file whose kind is "rwc-perf" (a
+// -perf-out artifact) is recognized by content: its deterministic
+// rwc_work_* counter copy is diffed exactly, and every wall-clock
+// field (phase latencies, memory deltas) is excluded wholesale — two
+// runs never agree there, and the perf artifact segregates them so
+// the comparable part stays comparable. Flight logs (.flight)
+// delegate to the rwc-replay bisect engine: the first diverging
+// (round, link, field)
 // is reported, with the same 0/1/2 exit contract (-tol does not apply
 // — flight divergence is exact by design). History archives (.hist)
 // compare per-series sample streams and report each differing series
@@ -43,6 +49,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/obs/hist"
+	"repro/internal/obs/perf"
 )
 
 func fatalf(code int, format string, args ...any) {
@@ -52,7 +59,12 @@ func fatalf(code int, format string, args ...any) {
 
 // loadTotals parses one artifact into the flat key→value shape both
 // formats share. The format is chosen by extension: .prom is a
-// Prometheus text exposition, .json a run manifest.
+// Prometheus text exposition, .json a run manifest — unless its kind
+// marks it as a perf artifact, which is sniffed by content because
+// both are ".json". Perf artifacts contribute only their rwc_work_*
+// counter copy: the wall-clock fields are excluded by design (all
+// their JSON keys end in _ns, and no two runs agree on them), so
+// diffing two perf artifacts asserts exactly the deterministic part.
 func loadTotals(path string) (map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -63,6 +75,20 @@ func loadTotals(path string) (map[string]float64, error) {
 	case ".prom", ".txt", ".metrics":
 		return obs.PromTotals(f)
 	case ".json":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if perf.IsReport(data) {
+			var rep perf.Report
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return nil, fmt.Errorf("%s: %v", path, err)
+			}
+			if rep.Work == nil {
+				return map[string]float64{}, nil
+			}
+			return rep.Work, nil
+		}
 		return obs.ManifestTotals(f)
 	default:
 		return nil, fmt.Errorf("%s: unknown artifact extension %q (want .prom, .json, or .flight)", path, ext)

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/perf"
+)
+
+// writePerfArtifact writes a -perf-out style artifact: timed phases
+// (wall clock, differs run to run) plus a work-counter copy
+// (deterministic, must compare exactly).
+func writePerfArtifact(t *testing.T, dir, name string, phaseNs time.Duration, work map[string]float64) string {
+	t.Helper()
+	rec := perf.New("obsdiff-test")
+	rec.Observe("wan.round/dynamic", phaseNs)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rec.WriteJSON(f, work)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadTotalsSniffsPerfArtifact(t *testing.T) {
+	dir := t.TempDir()
+	work := map[string]float64{
+		`rwc_work_dijkstra_pops_total{policy="dynamic"}`:   6870,
+		`rwc_work_arc_relaxations_total{policy="dynamic"}`: 18455,
+	}
+	path := writePerfArtifact(t, dir, "a.json", time.Millisecond, work)
+	totals, err := loadTotals(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(totals) != len(work) {
+		t.Fatalf("totals = %v, want exactly the work counters", totals)
+	}
+	for k, v := range work {
+		if totals[k] != v {
+			t.Fatalf("totals[%s] = %v, want %v", k, totals[k], v)
+		}
+	}
+	// Every wall-clock field is excluded: nothing with an _ns key (or
+	// any non-work key) may leak into the comparable set.
+	for k := range totals {
+		if !strings.HasPrefix(k, perf.WorkPrefix) {
+			t.Fatalf("non-work key %q leaked into totals", k)
+		}
+	}
+}
+
+func TestPerfArtifactsDiffOnWorkNotWall(t *testing.T) {
+	dir := t.TempDir()
+	work := map[string]float64{`rwc_work_dijkstra_pops_total{policy="dynamic"}`: 6870}
+	// Wildly different wall latencies, identical work: artifacts agree.
+	a, err := loadTotals(writePerfArtifact(t, dir, "a.json", time.Millisecond, work))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadTotals(writePerfArtifact(t, dir, "b.json", time.Minute, work))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := obs.DiffTotals(a, b, 0); len(diffs) != 0 {
+		t.Fatalf("identical work must agree regardless of wall time, got %v", diffs)
+	}
+	// Work drift of a single unit is a difference: exact by design.
+	drifted := map[string]float64{`rwc_work_dijkstra_pops_total{policy="dynamic"}`: 6871}
+	c, err := loadTotals(writePerfArtifact(t, dir, "c.json", time.Millisecond, drifted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := obs.DiffTotals(a, c, 0); len(diffs) != 1 {
+		t.Fatalf("work drift must diff, got %v", diffs)
+	}
+}
+
+func TestLoadTotalsPerfWithoutWork(t *testing.T) {
+	dir := t.TempDir()
+	path := writePerfArtifact(t, dir, "empty.json", time.Millisecond, nil)
+	totals, err := loadTotals(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(totals) != 0 {
+		t.Fatalf("totals = %v, want empty for a work-less perf artifact", totals)
+	}
+}

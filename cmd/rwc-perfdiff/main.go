@@ -1,0 +1,345 @@
+// Command rwc-perfdiff compares two performance records and exits
+// nonzero when the new one has regressed — the CI gate that turns the
+// repo's perf artifacts into an enforced budget instead of a graph
+// nobody reads.
+//
+// Usage:
+//
+//	rwc-perfdiff [-old-sha S] [-new-sha S] [flags] OLD NEW
+//
+// OLD and NEW may each be:
+//
+//   - a bench JSON document (BENCH_quick.json, as written by
+//     rwc-benchjson): benchmark → {ns_per_op, bytes_per_op,
+//     allocs_per_op, metrics}
+//   - a bench history record (BENCH_history.jsonl): one JSON line per
+//     commit; -old-sha / -new-sha select the entry (default: last
+//     line). OLD and NEW may be the same file with two SHAs.
+//   - a perf artifact (kind "rwc-perf", as written by -perf-out):
+//     per-phase wall latencies plus the deterministic rwc_work_*
+//     counter copy
+//
+// Wall-clock metrics are noisy, so they get multiplicative headroom:
+// ns/op and B/op must not grow past -ns-tol / -bytes-tol (default
+// 1.5×), allocs/op past -allocs-tol (default 1.2× — allocation counts
+// are near-deterministic, so the band is tighter). Deterministic work
+// counters (rwc_work_* in perf artifacts) get no headroom at all: any
+// drift is reported, because identical code on identical inputs must
+// do identical work. Custom benchmark metrics (b.ReportMetric values,
+// e.g. the reproduction's headline numbers) and perf phase wall times
+// are reported informationally but never fail the gate — correctness
+// belongs to tests, and raw phase latency inherits machine noise that
+// per-op normalization can't remove.
+//
+// Improvements never fail. Metrics present on only one side are
+// listed but don't fail either, so adding or renaming a benchmark
+// doesn't break the gate.
+//
+// Exit status: 0 = no regression, 1 = at least one regression,
+// 2 = usage or parse error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs/perf"
+)
+
+// class partitions metrics by how much noise they're allowed.
+type class int
+
+const (
+	classNs     class = iota // wall time per op: noisy, wide band
+	classBytes               // bytes per op: allocator noise, wide band
+	classAllocs              // allocs per op: near-deterministic, tight band
+	classWork                // deterministic work counters: exact
+	classInfo                // informational only: never gates
+)
+
+func (c class) String() string {
+	switch c {
+	case classNs:
+		return "ns/op"
+	case classBytes:
+		return "B/op"
+	case classAllocs:
+		return "allocs/op"
+	case classWork:
+		return "work"
+	default:
+		return "info"
+	}
+}
+
+// metric is one comparable value extracted from a record.
+type metric struct {
+	value float64
+	class class
+}
+
+// benchResult mirrors rwc-benchjson's per-benchmark object.
+type benchResult struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op"`
+	AllocsOp   float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// historyLine mirrors one rwc-benchjson -jsonl record.
+type historyLine struct {
+	SHA        string                 `json:"sha"`
+	Date       string                 `json:"date"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// benchMetrics flattens a benchmark map into comparable metrics.
+func benchMetrics(benches map[string]benchResult) map[string]metric {
+	m := make(map[string]metric)
+	for name, r := range benches {
+		m[name+" ns/op"] = metric{r.NsPerOp, classNs}
+		if r.BytesPerOp != 0 {
+			m[name+" B/op"] = metric{r.BytesPerOp, classBytes}
+		}
+		if r.AllocsOp != 0 {
+			m[name+" allocs/op"] = metric{r.AllocsOp, classAllocs}
+		}
+		for unit, v := range r.Metrics {
+			m[name+" "+unit] = metric{v, classInfo}
+		}
+	}
+	return m
+}
+
+// perfMetrics flattens a perf artifact: exact work counters plus
+// informational per-phase mean wall latency.
+func perfMetrics(rep perf.Report) map[string]metric {
+	m := make(map[string]metric)
+	for name, v := range rep.Work {
+		m[name] = metric{v, classWork}
+	}
+	for _, p := range rep.Phases {
+		if p.Count > 0 {
+			m[p.Name+" mean_ns"] = metric{float64(p.TotalNs) / float64(p.Count), classInfo}
+		}
+	}
+	return m
+}
+
+// loadRecord reads one input and normalizes it to metrics. kind names
+// what was parsed ("bench", "history", "perf") so the two sides can be
+// checked for comparability.
+func loadRecord(path, sha string) (kind string, m map[string]metric, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	if perf.IsReport(data) {
+		var rep perf.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return "", nil, fmt.Errorf("%s: %v", path, err)
+		}
+		return "perf", perfMetrics(rep), nil
+	}
+	// History files are JSONL: try line-by-line records with a
+	// benchmarks key first, falling back to a single bench document.
+	if entries, ok := parseHistory(data); ok {
+		e, err := selectEntry(entries, sha, path)
+		if err != nil {
+			return "", nil, err
+		}
+		return "history", benchMetrics(e.Benchmarks), nil
+	}
+	if sha != "" {
+		return "", nil, fmt.Errorf("%s: SHA selection requested but the file is not a bench history", path)
+	}
+	var benches map[string]benchResult
+	if err := json.Unmarshal(data, &benches); err != nil {
+		return "", nil, fmt.Errorf("%s: not a perf artifact, bench history, or bench document: %v", path, err)
+	}
+	return "bench", benchMetrics(benches), nil
+}
+
+// parseHistory parses rwc-benchjson -jsonl output: every non-blank
+// line a JSON object carrying a benchmarks map.
+func parseHistory(data []byte) ([]historyLine, bool) {
+	var entries []historyLine
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e historyLine
+		if err := json.Unmarshal([]byte(line), &e); err != nil || e.Benchmarks == nil {
+			return nil, false
+		}
+		entries = append(entries, e)
+	}
+	return entries, len(entries) > 0
+}
+
+// selectEntry picks the history record for sha (prefix match, so the
+// Makefile's short SHAs work against full ones and vice versa), or the
+// last record when sha is empty.
+func selectEntry(entries []historyLine, sha, path string) (historyLine, error) {
+	if sha == "" {
+		return entries[len(entries)-1], nil
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if strings.HasPrefix(e.SHA, sha) || strings.HasPrefix(sha, e.SHA) {
+			return e, nil
+		}
+	}
+	return historyLine{}, fmt.Errorf("%s: no history entry for sha %q", path, sha)
+}
+
+// tolerances maps each class to its allowed growth ratio.
+type tolerances struct {
+	ns, bytes, allocs float64
+}
+
+func (t tolerances) limit(c class) (float64, bool) {
+	switch c {
+	case classNs:
+		return t.ns, true
+	case classBytes:
+		return t.bytes, true
+	case classAllocs:
+		return t.allocs, true
+	case classWork:
+		return 1.0, true
+	default:
+		return 0, false
+	}
+}
+
+// diffLine is one comparison outcome, kept for sorted reporting.
+type diffLine struct {
+	name     string
+	old, new float64
+	limit    float64
+	class    class
+	regress  bool
+}
+
+// compare evaluates every metric present on both sides.
+func compare(oldM, newM map[string]metric, tol tolerances) (lines []diffLine, onlyOld, onlyNew []string) {
+	for name, o := range oldM {
+		n, ok := newM[name]
+		if !ok {
+			onlyOld = append(onlyOld, name)
+			continue
+		}
+		limit, gates := tol.limit(o.class)
+		if !gates {
+			if n.value != o.value { //nolint:nofloateq // informational drift display; exact match means nothing to report
+				lines = append(lines, diffLine{name, o.value, n.value, 0, o.class, false})
+			}
+			continue
+		}
+		regress := false
+		if o.class == classWork {
+			// Deterministic work: any drift is a finding.
+			regress = n.value != o.value //nolint:nofloateq // work counters are exact integers; any drift is the finding
+		} else if o.value == 0 {
+			regress = n.value > 0
+		} else {
+			regress = n.value > o.value*limit
+		}
+		if regress || n.value != o.value { //nolint:nofloateq // exact equality is the "nothing changed" fast path; tolerance already applied above
+			lines = append(lines, diffLine{name, o.value, n.value, limit, o.class, regress})
+		}
+	}
+	for name := range newM {
+		if _, ok := oldM[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].regress != lines[j].regress {
+			return lines[i].regress
+		}
+		return lines[i].name < lines[j].name
+	})
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return lines, onlyOld, onlyNew
+}
+
+func usageError(err error) {
+	fmt.Fprintf(os.Stderr, "rwc-perfdiff: %v\n", err)
+	os.Exit(2)
+}
+
+func main() {
+	nsTol := flag.Float64("ns-tol", 1.5, "allowed growth ratio for ns/op (wall time is noisy)")
+	bytesTol := flag.Float64("bytes-tol", 1.5, "allowed growth ratio for B/op")
+	allocsTol := flag.Float64("allocs-tol", 1.2, "allowed growth ratio for allocs/op (near-deterministic)")
+	oldSHA := flag.String("old-sha", "", "select this SHA's entry from an OLD bench history (prefix match; default: last line)")
+	newSHA := flag.String("new-sha", "", "select this SHA's entry from a NEW bench history (prefix match; default: last line)")
+	quiet := flag.Bool("quiet", false, "print regressions only, not improvements or one-sided metrics")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		usageError(fmt.Errorf("want exactly two arguments OLD NEW, got %d", flag.NArg()))
+	}
+	if *nsTol < 1 || *bytesTol < 1 || *allocsTol < 1 {
+		usageError(fmt.Errorf("tolerances are growth ratios and must be >= 1"))
+	}
+	oldKind, oldM, err := loadRecord(flag.Arg(0), *oldSHA)
+	if err != nil {
+		usageError(err)
+	}
+	newKind, newM, err := loadRecord(flag.Arg(1), *newSHA)
+	if err != nil {
+		usageError(err)
+	}
+	// bench and history normalize to the same metric space; perf
+	// artifacts live in a different one and only compare to each other.
+	if (oldKind == "perf") != (newKind == "perf") {
+		usageError(fmt.Errorf("cannot compare %s record %s against %s record %s",
+			oldKind, flag.Arg(0), newKind, flag.Arg(1)))
+	}
+
+	lines, onlyOld, onlyNew := compare(oldM, newM, tolerances{*nsTol, *bytesTol, *allocsTol})
+	regressions := 0
+	for _, l := range lines {
+		switch {
+		case l.regress && l.class == classWork:
+			fmt.Printf("REGRESS %-12s %s: %v -> %v (deterministic counter drifted)\n",
+				l.class, l.name, l.old, l.new)
+			regressions++
+		case l.regress:
+			fmt.Printf("REGRESS %-12s %s: %v -> %v (%.2fx > %.2fx allowed)\n",
+				l.class, l.name, l.old, l.new, l.new/l.old, l.limit)
+			regressions++
+		case *quiet:
+		case l.class == classInfo:
+			fmt.Printf("info    %-12s %s: %v -> %v\n", l.class, l.name, l.old, l.new)
+		default:
+			fmt.Printf("ok      %-12s %s: %v -> %v\n", l.class, l.name, l.old, l.new)
+		}
+	}
+	if !*quiet {
+		for _, name := range onlyOld {
+			fmt.Printf("only-old        %s\n", name)
+		}
+		for _, name := range onlyNew {
+			fmt.Printf("only-new        %s\n", name)
+		}
+	}
+	fmt.Printf("rwc-perfdiff: %d metric(s) compared, %d regression(s)\n",
+		len(oldM), regressions)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs/perf"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const historyTwoEntries = `{"sha":"aaa1111","date":"2026-08-01","benchmarks":{"BenchmarkX":{"iterations":10,"ns_per_op":100,"allocs_per_op":4}}}
+{"sha":"bbb2222","date":"2026-08-02","benchmarks":{"BenchmarkX":{"iterations":10,"ns_per_op":120,"allocs_per_op":4}}}
+`
+
+func TestLoadRecordHistorySelectsBySHAPrefix(t *testing.T) {
+	path := writeFile(t, "hist.jsonl", historyTwoEntries)
+	kind, m, err := loadRecord(path, "aaa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "history" {
+		t.Fatalf("kind = %q, want history", kind)
+	}
+	if got := m["BenchmarkX ns/op"].value; got != 100 {
+		t.Fatalf("sha aaa ns/op = %v, want 100", got)
+	}
+	// Empty SHA selects the last entry.
+	_, m, err = loadRecord(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["BenchmarkX ns/op"].value; got != 120 {
+		t.Fatalf("last-entry ns/op = %v, want 120", got)
+	}
+	if _, _, err := loadRecord(path, "zzz"); err == nil {
+		t.Fatal("unknown SHA should fail")
+	}
+}
+
+func TestLoadRecordBenchDocument(t *testing.T) {
+	path := writeFile(t, "bench.json", `{
+  "BenchmarkY": {"iterations": 5, "ns_per_op": 10, "bytes_per_op": 64, "allocs_per_op": 2, "metrics": {"satisfied": 0.97}}
+}`)
+	kind, m, err := loadRecord(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "bench" {
+		t.Fatalf("kind = %q, want bench", kind)
+	}
+	for name, want := range map[string]struct {
+		v float64
+		c class
+	}{
+		"BenchmarkY ns/op":     {10, classNs},
+		"BenchmarkY B/op":      {64, classBytes},
+		"BenchmarkY allocs/op": {2, classAllocs},
+		"BenchmarkY satisfied": {0.97, classInfo},
+	} {
+		got, ok := m[name]
+		if !ok || got.value != want.v || got.class != want.c {
+			t.Fatalf("%s = %+v ok=%v, want value %v class %v", name, got, ok, want.v, want.c)
+		}
+	}
+	// A bench document cannot answer a SHA query.
+	if _, _, err := loadRecord(path, "abc"); err == nil {
+		t.Fatal("SHA selection against a bench document should fail")
+	}
+}
+
+func TestLoadRecordPerfArtifact(t *testing.T) {
+	rec := perf.New("test")
+	rec.Observe("solve", 1000)
+	rec.Observe("solve", 3000)
+	path := filepath.Join(t.TempDir(), "perf.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rec.WriteJSON(f, map[string]float64{"rwc_work_dijkstra_pops_total": 42})
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, m, err := loadRecord(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "perf" {
+		t.Fatalf("kind = %q, want perf", kind)
+	}
+	if got := m["rwc_work_dijkstra_pops_total"]; got.value != 42 || got.class != classWork {
+		t.Fatalf("work counter = %+v, want 42/classWork", got)
+	}
+	// Phase wall time is informational: mean of the two observations.
+	if got := m["solve mean_ns"]; got.value != 2000 || got.class != classInfo {
+		t.Fatalf("phase mean = %+v, want 2000/classInfo", got)
+	}
+}
+
+func TestCompareToleranceBands(t *testing.T) {
+	tol := tolerances{ns: 1.5, bytes: 1.5, allocs: 1.2}
+	oldM := map[string]metric{
+		"a ns/op":       {100, classNs},
+		"b ns/op":       {100, classNs},
+		"c allocs/op":   {10, classAllocs},
+		"work_total":    {500, classWork},
+		"info headline": {0.9, classInfo},
+		"gone ns/op":    {5, classNs},
+	}
+	newM := map[string]metric{
+		"a ns/op":       {149, classNs},    // within 1.5x: ok
+		"b ns/op":       {151, classNs},    // past 1.5x: regression
+		"c allocs/op":   {11, classAllocs}, // within 1.2x: ok
+		"work_total":    {501, classWork},  // any drift: regression
+		"info headline": {0.5, classInfo},  // info never gates
+		"added B/op":    {7, classBytes},
+	}
+	lines, onlyOld, onlyNew := compare(oldM, newM, tol)
+	regressed := map[string]bool{}
+	for _, l := range lines {
+		if l.regress {
+			regressed[l.name] = true
+		}
+	}
+	if len(regressed) != 2 || !regressed["b ns/op"] || !regressed["work_total"] {
+		t.Fatalf("regressions = %v, want exactly {b ns/op, work_total}", regressed)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "gone ns/op" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "added B/op" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestCompareWorkCounterShrinkIsAlsoDrift(t *testing.T) {
+	// Deterministic counters gate in both directions: less work than
+	// the baseline means the solver changed behavior, which the gate
+	// must surface even though it "improved".
+	oldM := map[string]metric{"rwc_work_x": {100, classWork}}
+	newM := map[string]metric{"rwc_work_x": {99, classWork}}
+	lines, _, _ := compare(oldM, newM, tolerances{1.5, 1.5, 1.2})
+	if len(lines) != 1 || !lines[0].regress {
+		t.Fatalf("lines = %+v, want one work regression", lines)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	oldM := map[string]metric{"z ns/op": {0, classNs}}
+	newM := map[string]metric{"z ns/op": {1, classNs}}
+	lines, _, _ := compare(oldM, newM, tolerances{1.5, 1.5, 1.2})
+	if len(lines) != 1 || !lines[0].regress {
+		t.Fatalf("growth from a zero baseline must regress, got %+v", lines)
+	}
+}
+
+func TestParseHistoryRejectsNonHistory(t *testing.T) {
+	if _, ok := parseHistory([]byte(`{"BenchmarkX": {"iterations": 1, "ns_per_op": 2}}`)); ok {
+		t.Fatal("a bench document (no benchmarks key) must not parse as history")
+	}
+	if _, ok := parseHistory([]byte("not json\n")); ok {
+		t.Fatal("garbage must not parse as history")
+	}
+}

@@ -2,7 +2,10 @@
 // simulation's operations plane (rwc-wansim / rwc-experiments with
 // -serve, typically alongside -linger and -hist-out). It polls /runz
 // for run state, /queryz for windowed history of the key WAN series,
-// and renders sparkline summaries plus the current alert state.
+// and renders sparkline summaries plus the current alert state and —
+// when the run has -perf-out — a PERF panel from /perfz: per-phase
+// wall-latency sparklines over the most recent rounds and the top
+// deterministic rwc_work_* counters.
 //
 // Usage:
 //
@@ -72,6 +75,21 @@ type resultJSON struct {
 
 type queryzJSON struct {
 	Results []resultJSON `json:"results"`
+}
+
+// perfzJSON is the slice of the /perfz report rwc-top renders:
+// per-phase wall latencies (recent_ns is the ring of the newest
+// samples, oldest first — exactly a sparkline's input) and the
+// deterministic work-counter copy.
+type perfzJSON struct {
+	Phases []struct {
+		Name     string  `json:"name"`
+		Count    int64   `json:"count"`
+		MinNs    int64   `json:"min_ns"`
+		MaxNs    int64   `json:"max_ns"`
+		RecentNs []int64 `json:"recent_ns"`
+	} `json:"phases"`
+	Work map[string]float64 `json:"work"`
 }
 
 // getJSON fetches one endpoint and decodes it. A 404 is reported as
@@ -205,6 +223,9 @@ func renderFrame(w io.Writer, client *http.Client, cfg config) error {
 	if !histOK {
 		fmt.Fprintf(w, "  history disabled for this run — start it with -hist-out to enable /queryz\n")
 		fmt.Fprintf(w, "\nALERTS\n  unavailable without history\n")
+		// Perf is independent of history: a -perf-out run without
+		// -hist-out still gets its panel.
+		renderPerf(w, client, cfg)
 		return nil
 	}
 
@@ -227,7 +248,66 @@ func renderFrame(w io.Writer, client *http.Client, cfg config) error {
 	if firing == 0 {
 		fmt.Fprintf(w, "  none firing\n")
 	}
+
+	renderPerf(w, client, cfg)
 	return nil
+}
+
+// topWorkCounters caps how many work counters the PERF panel lists.
+const topWorkCounters = 8
+
+// renderPerf draws the PERF panel from /perfz. Perf capture being
+// disabled (404) or the fetch failing degrades to a note: the panel is
+// advisory and must never take down a frame that /runz answered.
+func renderPerf(w io.Writer, client *http.Client, cfg config) {
+	var pz perfzJSON
+	if err := getJSON(client, cfg.base+"/perfz", &pz); err != nil {
+		if err == errDisabled {
+			fmt.Fprintf(w, "\nPERF\n  perf capture disabled for this run — enable with -perf-out\n")
+		} else {
+			fmt.Fprintf(w, "\nPERF\n  unavailable: %v\n", err)
+		}
+		return
+	}
+	fmt.Fprintf(w, "\nPERF (wall clock — side channel, not in the deterministic artifacts)\n")
+	for _, p := range pz.Phases {
+		vals := make([]float64, len(p.RecentNs))
+		for i, ns := range p.RecentNs {
+			vals[i] = float64(ns)
+		}
+		last := time.Duration(0)
+		if n := len(p.RecentNs); n > 0 {
+			last = time.Duration(p.RecentNs[n-1])
+		}
+		fmt.Fprintf(w, "  %-42s n=%-5d %10s  %s  [%s … %s]\n",
+			p.Name, p.Count, last, sparkline(vals, cfg.width),
+			time.Duration(p.MinNs), time.Duration(p.MaxNs))
+	}
+	if len(pz.Phases) == 0 {
+		fmt.Fprintf(w, "  no phases recorded yet\n")
+	}
+	// Top deterministic work counters, largest first: the solver-effort
+	// view that stays byte-identical across worker counts.
+	type wc struct {
+		name string
+		v    float64
+	}
+	work := make([]wc, 0, len(pz.Work))
+	for name, v := range pz.Work {
+		work = append(work, wc{name, v})
+	}
+	sort.Slice(work, func(i, j int) bool {
+		if work[i].v != work[j].v { //nolint:nofloateq // comparator tie-break: tolerance would break strict weak ordering
+			return work[i].v > work[j].v
+		}
+		return work[i].name < work[j].name
+	})
+	if len(work) > topWorkCounters {
+		work = work[:topWorkCounters]
+	}
+	for _, c := range work {
+		fmt.Fprintf(w, "  %-58s %12.0f\n", c.name, c.v)
+	}
 }
 
 func main() {

@@ -9,12 +9,15 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/hist"
+	"repro/internal/obs/perf"
 	"repro/internal/obs/serve"
 )
 
 // topServer builds an operations plane over a history store carrying a
-// seeded SNR dip at rounds 4-5 of 8 and a firing alert series.
-func topServer(t *testing.T, withHist bool) *httptest.Server {
+// seeded SNR dip at rounds 4-5 of 8 and a firing alert series; with
+// withPerf it also attaches a perf recorder with one timed phase and a
+// work counter, so the PERF panel has something to render.
+func topServer(t *testing.T, withHist, withPerf bool) *httptest.Server {
 	t.Helper()
 	o := obs.New("top-test")
 	var st *hist.Store
@@ -36,7 +39,15 @@ func topServer(t *testing.T, withHist bool) *httptest.Server {
 		g.Set(v)
 		a.Set(firing)
 	}
-	s := serve.New(serve.Options{Obs: o, Tool: "top-test", Seed: 7, Hist: st})
+	var rec *perf.Recorder
+	if withPerf {
+		rec = perf.New("top-test")
+		for i := 1; i <= 4; i++ {
+			rec.Observe("wan.round/dynamic", time.Duration(i)*time.Millisecond)
+		}
+		o.Counter("rwc_work_dijkstra_pops_total", "pops", obs.L("policy", "dynamic")).Add(12345)
+	}
+	s := serve.New(serve.Options{Obs: o, Tool: "top-test", Seed: 7, Hist: st, Perf: rec})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts
@@ -52,7 +63,7 @@ func topConfig(ts *httptest.Server) config {
 }
 
 func TestRenderFrameShowsSeriesAndAlerts(t *testing.T) {
-	ts := topServer(t, true)
+	ts := topServer(t, true, false)
 	var out strings.Builder
 	if err := renderFrame(&out, ts.Client(), topConfig(ts)); err != nil {
 		t.Fatal(err)
@@ -75,14 +86,47 @@ func TestRenderFrameShowsSeriesAndAlerts(t *testing.T) {
 	}
 	for _, r := range sparkRunes {
 		if strings.ContainsRune(frame, r) {
+			// Without a perf recorder the PERF panel degrades to a note.
+			if !strings.Contains(frame, "perf capture disabled") {
+				t.Fatalf("frame missing perf-disabled note:\n%s", frame)
+			}
 			return
 		}
 	}
 	t.Fatalf("frame has no sparkline cells:\n%s", frame)
 }
 
+func TestRenderFramePerfPanel(t *testing.T) {
+	ts := topServer(t, true, true)
+	var out strings.Builder
+	if err := renderFrame(&out, ts.Client(), topConfig(ts)); err != nil {
+		t.Fatal(err)
+	}
+	frame := out.String()
+	for _, want := range []string{
+		"PERF",
+		"wan.round/dynamic",
+		"n=4",
+		"[1ms … 4ms]",
+		"rwc_work_dijkstra_pops_total",
+		"12345",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// The PERF latency line carries its own sparkline cells.
+	perfSection := frame[strings.Index(frame, "PERF"):]
+	for _, r := range sparkRunes {
+		if strings.ContainsRune(perfSection, r) {
+			return
+		}
+	}
+	t.Fatalf("PERF panel has no sparkline cells:\n%s", frame)
+}
+
 func TestRenderFrameWithoutHistoryDegrades(t *testing.T) {
-	ts := topServer(t, false)
+	ts := topServer(t, false, false)
 	var out strings.Builder
 	if err := renderFrame(&out, ts.Client(), topConfig(ts)); err != nil {
 		t.Fatal(err)
@@ -91,6 +135,24 @@ func TestRenderFrameWithoutHistoryDegrades(t *testing.T) {
 	if !strings.Contains(frame, "history disabled") ||
 		!strings.Contains(frame, "unavailable without history") {
 		t.Fatalf("frame does not degrade gracefully:\n%s", frame)
+	}
+}
+
+// TestRenderFramePerfPanelWithoutHistory: perf is independent of
+// history — a -perf-out run without -hist-out must still render its
+// PERF panel after the history-disabled degradation notes.
+func TestRenderFramePerfPanelWithoutHistory(t *testing.T) {
+	ts := topServer(t, false, true)
+	var out strings.Builder
+	if err := renderFrame(&out, ts.Client(), topConfig(ts)); err != nil {
+		t.Fatal(err)
+	}
+	frame := out.String()
+	if !strings.Contains(frame, "history disabled") {
+		t.Fatalf("frame missing history degradation note:\n%s", frame)
+	}
+	if !strings.Contains(frame, "PERF") || !strings.Contains(frame, "wan.round/dynamic") {
+		t.Fatalf("PERF panel missing from history-less frame:\n%s", frame)
 	}
 }
 

@@ -6,11 +6,12 @@
 // Usage:
 //
 //	rwc-wansim [-topology abilene|us|random] [-rounds N] [-policy p]
-//	           [-demand f] [-wavelengths N] [-seed N] [-hitless]
+//	           [-te alg] [-demand f] [-wavelengths N] [-seed N] [-hitless]
 //	           [-workers N] [-metrics-out m.prom] [-trace-out t.jsonl]
 //	           [-manifest-out run.json] [-flight-out run.flight]
 //	           [-flight-links N] [-hist-out run.hist] [-hist-retain N]
-//	           [-hist-budget N] [-override-snr f,w,r,db] [-serve addr]
+//	           [-hist-budget N] [-perf-out perf.json] [-perf-profile-dir d]
+//	           [-override-snr f,w,r,db] [-serve addr]
 //	           [-pprof addr] [-log level] [-alerts] [-linger]
 //
 // The three -*-out flags enable the observability layer: -metrics-out
@@ -43,6 +44,18 @@
 // -hist-budget caps series admitted per fan-out shard, like
 // -flight-links.
 //
+// -perf-out writes the wall-clock perf artifact (internal/obs/perf):
+// per-phase latency histograms (one phase per policy, one sample per
+// round), runtime memory/GC deltas, and a copy of the deterministic
+// rwc_work_* counters. Wall capture is a segregated side channel — a
+// run with -perf-out produces byte-identical stdout, metrics, trace,
+// hist, and flight artifacts to the same run without it. The live
+// snapshot is served at /perfz when -serve is up. -perf-profile-dir
+// additionally writes run-scoped cpu.pprof/heap.pprof under the given
+// directory. -te selects the TE algorithm (greedy, shortest-path,
+// kpath, maxconcurrent) so work-counter comparisons across allocators
+// are one flag apart.
+//
 // The live operations plane rides the same bundle: -serve exposes
 // /metrics, /healthz, /readyz, /runz, the SSE /traces tail, and
 // /debug/pprof on the given address (e.g. "localhost:6060") without
@@ -70,7 +83,9 @@ import (
 	"repro/internal/obs/flight"
 	"repro/internal/obs/hist"
 	"repro/internal/obs/olog"
+	"repro/internal/obs/perf"
 	"repro/internal/obs/serve"
+	"repro/internal/te"
 	"repro/internal/wan"
 )
 
@@ -88,6 +103,23 @@ func parseOverrideSNR(s string) (fiber, wavelength, round int, db float64, err e
 // exit 2 instead of deep inside a simulation round.
 func parseTopology(name string, wavelengths int, seed uint64) (*wan.Network, error) {
 	return wan.ParseTopology(name, wavelengths, seed)
+}
+
+// parseTE is the single validation path for -te. Empty selects the
+// simulation default (greedy, warm-started by the round loop).
+func parseTE(name string) (te.Algorithm, error) {
+	switch name {
+	case "", "greedy":
+		return nil, nil
+	case "shortest-path", "shortest":
+		return te.ShortestPath{}, nil
+	case "kpath":
+		return te.KPath{}, nil
+	case "maxconcurrent":
+		return te.MaxConcurrent{}, nil
+	default:
+		return nil, fmt.Errorf("unknown TE algorithm %q (greedy, shortest-path, kpath, maxconcurrent)", name)
+	}
 }
 
 // parsePolicy is the single validation path for -policy.
@@ -154,6 +186,9 @@ func main() {
 	histOut := flag.String("hist-out", "", "enable the metrics-history store and write it to this file at exit (binary; .jsonl suffix selects JSONL)")
 	histRetain := flag.Int("hist-retain", hist.DefaultRetain, "raw samples retained per history series before downsampling")
 	histBudget := flag.Int("hist-budget", hist.DefaultMaxSeries, "cardinality budget: history series admitted per fan-out shard (negative = unlimited)")
+	perfOut := flag.String("perf-out", "", "write the wall-clock perf artifact (phase latencies, memory deltas, rwc_work_* copy) to this file; never perturbs the deterministic artifacts")
+	perfProfileDir := flag.String("perf-profile-dir", "", "also write run-scoped cpu.pprof and heap.pprof under this directory (requires -perf-out)")
+	teAlg := flag.String("te", "", "TE algorithm: greedy (default), shortest-path, kpath, maxconcurrent")
 	overrideSNR := flag.String("override-snr", "", "pin one SNR cell as fiber,wavelength,round,db before the run (fault injection)")
 	serveAddr := flag.String("serve", "", "serve the live operations plane (/metrics, /healthz, /readyz, /runz, /traces, /debug/pprof) on this address (e.g. localhost:6060)")
 	pprofAddr := flag.String("pprof", "", "serve the same operations plane on a second address (kept for compatibility)")
@@ -185,6 +220,13 @@ func main() {
 	if err != nil {
 		usageError(err)
 	}
+	alg, err := parseTE(*teAlg)
+	if err != nil {
+		usageError(err)
+	}
+	if *perfProfileDir != "" && *perfOut == "" {
+		usageError(fmt.Errorf("-perf-profile-dir requires -perf-out"))
+	}
 
 	// The observability bundle: simulation-clocked metrics + trace, and
 	// a wall clock injected here (cmd/ is outside the nowalltime rule)
@@ -192,7 +234,7 @@ func main() {
 	// the bundle, so they enable it too.
 	var o *obs.Obs
 	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" || *flightOut != "" ||
-		*histOut != "" || *serveAddr != "" || *pprofAddr != "" || *logLevel != "" {
+		*histOut != "" || *perfOut != "" || *serveAddr != "" || *pprofAddr != "" || *logLevel != "" {
 		o = obs.New("rwc-wansim")
 		start := time.Now()
 		o.Wall = obs.ClockFunc(func() time.Duration { return time.Since(start) })
@@ -238,9 +280,22 @@ func main() {
 		recorder.SetHistory(histStore.Root().NewChild(), *interval)
 	}
 
+	// The perf recorder is the wall-clock side channel: it never touches
+	// the registry/trace/hist/flight sinks, so the artifacts above stay
+	// byte-identical with or without it.
+	var perfRec *perf.Recorder
+	if *perfOut != "" {
+		perfRec = perf.New("rwc-wansim")
+		if *perfProfileDir != "" {
+			if err := perfRec.StartProfiles(*perfProfileDir); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	var servers []*serve.Server
 	for _, addr := range addrs {
-		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-wansim", Seed: *seed, Flight: recorder, Hist: histStore})
+		srv, err := serve.Start(addr, serve.Options{Obs: o, Tool: "rwc-wansim", Seed: *seed, Flight: recorder, Hist: histStore, Perf: perfRec})
 		if err != nil {
 			fatal(err)
 		}
@@ -259,6 +314,10 @@ func main() {
 		MaxDemands:     *maxDemands,
 		Obs:            o,
 		Workers:        *workers,
+		Perf:           perfRec,
+	}
+	if alg != nil {
+		cfg.TE = alg
 	}
 	if *hitless {
 		cfg.ChangeDowntime = 35 * time.Millisecond
@@ -344,6 +403,17 @@ func main() {
 		if recorder != nil {
 			writeOutput(*flightOut, func(f *os.File) error {
 				return recorder.WriteLog(f, flight.Meta{Tool: "rwc-wansim", Seed: int64(*seed), Interval: *interval}, o)
+			})
+		}
+		// The perf artifact is written last: profiles stop first so the
+		// heap snapshot covers the whole run, and the Work section copies
+		// the final rwc_work_* totals out of the deterministic registry.
+		if perfRec != nil {
+			if err := perfRec.StopProfiles(); err != nil {
+				fatal(err)
+			}
+			writeOutput(*perfOut, func(f *os.File) error {
+				return perfRec.WriteJSON(f, perf.FilterWork(o.Metrics.Totals()))
 			})
 		}
 	}

@@ -31,6 +31,36 @@ type Augmenter struct {
 	p PenaltyFunc
 	// nReal is the physical edge count the augmenter was built for.
 	nReal int
+	// work accumulates exact unit counts since the last TakeWork call.
+	work WorkStats
+}
+
+// WorkStats counts the augmentation layer's exact work units: edges
+// refreshed into G′, fake-edge scans while translating a flow back to
+// capacity orders, and attribution records emitted. Like
+// graph.SolveStats these are plain integers derived only from structure
+// and call order — never from timing — so they are byte-identical
+// across runs and worker counts.
+type WorkStats struct {
+	RefreshEdges      int
+	TranslateScans    int
+	AttributionChecks int
+}
+
+// Add accumulates another accounting period's counts.
+func (w *WorkStats) Add(o WorkStats) {
+	w.RefreshEdges += o.RefreshEdges
+	w.TranslateScans += o.TranslateScans
+	w.AttributionChecks += o.AttributionChecks
+}
+
+// TakeWork returns the work accumulated since the previous TakeWork
+// (or construction) and resets the accumulator — the per-round delta
+// the simulation publishes as rwc_work_augmenter_* counters.
+func (a *Augmenter) TakeWork() WorkStats {
+	w := a.work
+	a.work = WorkStats{}
+	return w
 }
 
 // NewAugmenter builds the stable augmented graph for t. A nil penalty
@@ -63,6 +93,10 @@ func NewAugmenter(t *Topology, penalty PenaltyFunc) (*Augmenter, error) {
 	if err := a.Refresh(); err != nil {
 		return nil, err
 	}
+	// Construction is not accounted work: the warm path builds once and
+	// the cold path rebuilds every round, and the two must report
+	// identical per-round work (the warm-vs-cold equivalence invariant).
+	a.work = WorkStats{}
 	return a, nil
 }
 
@@ -85,6 +119,7 @@ func (a *Augmenter) Refresh() error {
 		return fmt.Errorf("core: topology grew from %d to %d edges; rebuild the augmenter",
 			a.nReal, t.G.NumEdges())
 	}
+	a.work.RefreshEdges += a.nReal
 	for i := 0; i < a.nReal; i++ {
 		id := graph.EdgeID(i)
 		e := t.G.Edge(id)
@@ -124,6 +159,7 @@ func (a *Augmenter) TranslateInto(d *Decision, res graph.FlowResult) error {
 	d.EdgeFlow = d.EdgeFlow[:a.nReal]
 	copy(d.EdgeFlow, res.EdgeFlow[:a.nReal])
 	d.Changes = d.Changes[:0]
+	a.work.TranslateScans += a.nReal
 	for i := 0; i < a.nReal; i++ {
 		realID := graph.EdgeID(i)
 		f := res.EdgeFlow[a.FakeID(realID)]
@@ -152,6 +188,7 @@ func (a *Augmenter) TranslateInto(d *Decision, res graph.FlowResult) error {
 func (a *Augmenter) AttributionInto(dst []FakeAttribution, edgeFlow []float64) []FakeAttribution {
 	res := graph.FlowResult{EdgeFlow: edgeFlow}
 	out := dst[:0]
+	a.work.AttributionChecks += a.nReal
 	for i := 0; i < a.nReal; i++ {
 		realID := graph.EdgeID(i)
 		up, ok := a.t.Upgrades[realID]

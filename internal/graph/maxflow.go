@@ -26,9 +26,18 @@ type FlowResult struct {
 // the number of blocking-flow pushes; for successive shortest paths,
 // Phases is the number of Dijkstra runs and Augmentations the number
 // of augmenting paths applied.
+//
+// Pops and Relaxations break a phase's cost down to its unit of work:
+// Pops counts priority-queue (or BFS queue) dequeues, Relaxations
+// counts residual arcs examined with positive capacity — the inner-loop
+// body of every shortest-path search. Both are exact integers derived
+// only from graph structure and solve order, never from timing, so they
+// are byte-identical across runs and worker counts.
 type SolveStats struct {
 	Phases        int
 	Augmentations int
+	Pops          int
+	Relaxations   int
 }
 
 // Add accumulates another solve's counts (for multi-solve callers
@@ -36,6 +45,8 @@ type SolveStats struct {
 func (s *SolveStats) Add(o SolveStats) {
 	s.Phases += o.Phases
 	s.Augmentations += o.Augmentations
+	s.Pops += o.Pops
+	s.Relaxations += o.Relaxations
 }
 
 // FlowOn returns the flow assigned to edge id, or 0 when the id is out
@@ -137,8 +148,13 @@ func (g *Graph) MaxFlow(src, dst NodeID, limit float64) (FlowResult, error) {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
+			stats.Pops++
 			for _, a := range r.adj[u] {
-				if r.cap[a] > Eps && level[r.head[a]] < 0 {
+				if r.cap[a] <= Eps {
+					continue
+				}
+				stats.Relaxations++
+				if level[r.head[a]] < 0 {
 					level[r.head[a]] = level[u] + 1
 					queue = append(queue, r.head[a])
 				}

@@ -65,12 +65,20 @@ func (q *dijkstraPQ) Pop() interface{} {
 // ShortestPathDijkstra returns a minimum-Weight path from src to dst,
 // skipping zero-capacity edges. All edge weights must be non-negative.
 func (g *Graph) ShortestPathDijkstra(src, dst NodeID) (Path, float64, bool) {
+	return g.ShortestPathDijkstraStats(src, dst, nil)
+}
+
+// ShortestPathDijkstraStats is ShortestPathDijkstra with work
+// accounting: when stats is non-nil, every queue pop and every
+// positive-capacity edge examined is counted into it (Pops and
+// Relaxations; the caller owns Phases).
+func (g *Graph) ShortestPathDijkstraStats(src, dst NodeID, stats *SolveStats) (Path, float64, bool) {
 	dist, prevEdge := g.dijkstraAll(src, func(e Edge) (float64, bool) {
 		if e.Capacity <= Eps {
 			return 0, false
 		}
 		return e.Weight, true
-	})
+	}, stats)
 	if math.IsInf(dist[dst], 1) {
 		return Path{}, 0, false
 	}
@@ -78,8 +86,9 @@ func (g *Graph) ShortestPathDijkstra(src, dst NodeID) (Path, float64, bool) {
 }
 
 // dijkstraAll runs Dijkstra from src using lengthOf to derive each
-// edge's length (or skip it). It panics on a negative length.
-func (g *Graph) dijkstraAll(src NodeID, lengthOf func(Edge) (float64, bool)) ([]float64, []EdgeID) {
+// edge's length (or skip it). It panics on a negative length. A non-nil
+// stats receives Pops/Relaxations work counts.
+func (g *Graph) dijkstraAll(src NodeID, lengthOf func(Edge) (float64, bool), stats *SolveStats) ([]float64, []EdgeID) {
 	n := g.NumNodes()
 	dist := make([]float64, n)
 	prevEdge := make([]EdgeID, n)
@@ -93,6 +102,9 @@ func (g *Graph) dijkstraAll(src NodeID, lengthOf func(Edge) (float64, bool)) ([]
 	for pq.Len() > 0 {
 		it := heap.Pop(pq).(dijkstraItem)
 		u := it.node
+		if stats != nil {
+			stats.Pops++
+		}
 		if done[u] {
 			continue
 		}
@@ -102,6 +114,9 @@ func (g *Graph) dijkstraAll(src NodeID, lengthOf func(Edge) (float64, bool)) ([]
 			l, ok := lengthOf(e)
 			if !ok {
 				continue
+			}
+			if stats != nil {
+				stats.Relaxations++
 			}
 			if l < -Eps {
 				panic(fmt.Sprintf("graph: negative edge length %v on edge %d", l, int(id)))
@@ -176,10 +191,20 @@ func (g *Graph) BellmanFord(src NodeID) (dist []float64, negCycle bool) {
 // edges are skipped. SWAN-style TE pre-computes k paths per demand pair
 // with exactly this.
 func (g *Graph) KShortestPaths(src, dst NodeID, k int) []Path {
+	return g.KShortestPathsStats(src, dst, k, nil)
+}
+
+// KShortestPathsStats is KShortestPaths with work accounting: a non-nil
+// stats receives one Phase per Dijkstra run (initial plus every spur
+// search) and the pooled Pops/Relaxations across them.
+func (g *Graph) KShortestPathsStats(src, dst NodeID, k int, stats *SolveStats) []Path {
 	if k <= 0 {
 		return nil
 	}
-	first, _, ok := g.ShortestPathDijkstra(src, dst)
+	if stats != nil {
+		stats.Phases++
+	}
+	first, _, ok := g.ShortestPathDijkstraStats(src, dst, stats)
 	if !ok {
 		return nil
 	}
@@ -207,12 +232,15 @@ func (g *Graph) KShortestPaths(src, dst NodeID, k int) []Path {
 				bannedNodes[nd] = true
 			}
 
+			if stats != nil {
+				stats.Phases++
+			}
 			spurDist, spurPrev := g.dijkstraAll(spurNode, func(e Edge) (float64, bool) {
 				if e.Capacity <= Eps || banned[e.ID] || bannedNodes[e.From] || bannedNodes[e.To] {
 					return 0, false
 				}
 				return e.Weight, true
-			})
+			}, stats)
 			if math.IsInf(spurDist[dst], 1) {
 				continue
 			}

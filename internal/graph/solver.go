@@ -286,6 +286,7 @@ func (s *MCFSolver) Solve(src, dst NodeID, limit float64, fwdCap, flowOut []floa
 		for len(s.pq) > 0 {
 			it := s.popPQ()
 			u := it.node
+			stats.Pops++
 			if s.done[u] {
 				continue
 			}
@@ -295,6 +296,7 @@ func (s *MCFSolver) Solve(src, dst NodeID, limit float64, fwdCap, flowOut []floa
 				if s.rcap[a] <= Eps {
 					continue
 				}
+				stats.Relaxations++
 				v := s.head[a]
 				rc := s.cost[a] + s.pot[u] - s.pot[v]
 				if rc < 0 {

@@ -58,9 +58,54 @@ func TestMinCostFlowReportsSolveStats(t *testing.T) {
 
 func TestSolveStatsAdd(t *testing.T) {
 	var s SolveStats
-	s.Add(SolveStats{Phases: 2, Augmentations: 3})
-	s.Add(SolveStats{Phases: 1, Augmentations: 1})
-	if s.Phases != 3 || s.Augmentations != 4 {
+	s.Add(SolveStats{Phases: 2, Augmentations: 3, Pops: 10, Relaxations: 20})
+	s.Add(SolveStats{Phases: 1, Augmentations: 1, Pops: 1, Relaxations: 2})
+	if s.Phases != 3 || s.Augmentations != 4 || s.Pops != 11 || s.Relaxations != 22 {
 		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestMinCostFlowPinnedWorkCounts pins the exact pop and relaxation
+// counts of the SSP solver on the hand-checked diamond. Derivation
+// (nodes s,a,b,d; potentials from Bellman-Ford are 0,1,2,2):
+//
+//	Phase 1: pop s (relax s→a, s→b), pop a (relax a→d), pop b (relax
+//	         b→d), pop d (both residual arcs empty) — 4 pops, 4
+//	         relaxations; augment 10 over s→a→d.
+//	Phase 2: pop s (relax s→b; s→a now saturated), pop b (relax b→d),
+//	         pop d (relax backward d→a, opened by phase 1), pop a
+//	         (relax backward a→s) — 4 pops, 4 relaxations; augment 10
+//	         over s→b→d.
+//	Phase 3: pop s, both outgoing arcs saturated — 1 pop, 0
+//	         relaxations; no path, terminate.
+//
+// Any drift here means the solve order changed, which changes every
+// rwc_work_* series downstream — exactly what this regression test is
+// for.
+func TestMinCostFlowPinnedWorkCounts(t *testing.T) {
+	g, s, d := statsDiamond(t)
+	res, err := g.MinCostMaxFlow(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SolveStats{Phases: 3, Augmentations: 2, Pops: 9, Relaxations: 8}
+	if res.Stats != want {
+		t.Fatalf("stats = %+v, want %+v", res.Stats, want)
+	}
+}
+
+// TestMaxFlowPinnedWorkCounts pins Dinic on the same diamond: BFS 1
+// pops s,a,b,d and relaxes the four forward edges (b→d's relaxation
+// finds d already leveled), then one blocking-flow pass ships both
+// paths; BFS 2 pops only s (both source arcs saturated) and fails.
+func TestMaxFlowPinnedWorkCounts(t *testing.T) {
+	g, s, d := statsDiamond(t)
+	res, err := g.MaxFlow(s, d, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SolveStats{Phases: 1, Augmentations: 2, Pops: 5, Relaxations: 4}
+	if res.Stats != want {
+		t.Fatalf("stats = %+v, want %+v", res.Stats, want)
 	}
 }

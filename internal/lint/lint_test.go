@@ -49,6 +49,20 @@ func TestNoWallTimeObsServeRequiresNolint(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/obs/serve")
 }
 
+func TestNoWallTimeExemptsObsPerf(t *testing.T) {
+	// internal/obs/perf is the wall-clock side channel: the one package
+	// carved out of the internal/obs coverage (wallClockExempt). Its
+	// fixture reads the wall clock freely and expects zero findings.
+	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/obs/perf")
+}
+
+func TestNoWallTimeRejectsInstrumentedGraph(t *testing.T) {
+	// The perf exemption must not leak into the instrumented solver:
+	// work accounting in internal/graph stays deterministic integers,
+	// and direct time.* reads are still flagged.
+	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/graph")
+}
+
 func TestNoWallTimeAllowsTelemetry(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoWallTime, "repro/internal/telemetry")
 }

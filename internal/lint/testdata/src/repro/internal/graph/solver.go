@@ -1,0 +1,32 @@
+// Fixture: internal/graph is the instrumented solver layer. Work
+// accounting (pops, relaxations) must stay in deterministic integers —
+// the perf-package exemption must NOT leak here: a wall-clock read in
+// solver code would make work counters timing-dependent and break
+// byte-identity across -workers counts.
+package graph
+
+import "time"
+
+// SolveStats mirrors the real solver's work counters: plain integers,
+// clean.
+type SolveStats struct {
+	Pops        int
+	Relaxations int
+}
+
+// countedSolve does deterministic work accounting: clean.
+func countedSolve(n int) SolveStats {
+	var s SolveStats
+	for i := 0; i < n; i++ {
+		s.Pops++
+		s.Relaxations += 2
+	}
+	return s
+}
+
+// badTimedSolve measures solver cost with the wall clock instead of
+// work units.
+func badTimedSolve() time.Duration {
+	t0 := time.Now()      // want `time.Now in simulation package repro/internal/graph`
+	return time.Since(t0) // want `time.Since in simulation package`
+}

@@ -1,0 +1,22 @@
+// Fixture: internal/obs/perf is the wall-clock side channel — the one
+// package under the forbidden internal/obs tree that is *exempt* from
+// the nowalltime rule (wallClockExempt), because measuring wall
+// latency into a segregated artifact is its entire purpose. No // want
+// comments here: every wall-clock read below must pass.
+package perf
+
+import "time"
+
+// Phase times a region against the wall clock: the exemption's
+// canonical use.
+func Phase() func() time.Duration {
+	t0 := time.Now()
+	return func() time.Duration {
+		return time.Since(t0)
+	}
+}
+
+// Stamp reads the wall clock directly: also clean here, and only here.
+func Stamp() time.Time {
+	return time.Now()
+}

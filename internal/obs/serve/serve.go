@@ -32,6 +32,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/obs/hist"
+	"repro/internal/obs/perf"
 )
 
 // Options configures a Server.
@@ -55,6 +56,12 @@ type Options struct {
 	// both answer 404 when nil. Queries read merged snapshots under the
 	// store lock, never blocking recording for longer than one copy.
 	Hist *hist.Store
+	// Perf is the run's wall-clock perf recorder (nil when -perf-out is
+	// off). /perfz serves its live snapshot — phase latencies, memory
+	// deltas, and the registry's rwc_work_* counters — and answers 404
+	// when nil. Like every perf reading, the snapshot never enters the
+	// deterministic run artifacts.
+	Perf *perf.Recorder
 	// SSEBuffer is the per-client event channel depth (default 256).
 	// When a client cannot keep up, the newest events are dropped for
 	// that client — never buffered unboundedly, never blocking the
@@ -97,6 +104,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/runz", s.handleRunz)
 	s.mux.HandleFunc("/traces", s.handleTraces)
 	s.mux.HandleFunc("/flightz", s.handleFlightz)
+	s.mux.HandleFunc("/perfz", s.handlePerfz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -252,6 +260,26 @@ func (s *Server) handleFlightz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(info)
+}
+
+// handlePerfz serves the perf recorder's live snapshot: per-phase wall
+// latencies, memory deltas, and the deterministic rwc_work_* counters
+// read from the run's registry at request time. Wall readings stay on
+// this side channel; the snapshot is never written into run artifacts.
+func (s *Server) handlePerfz(w http.ResponseWriter, r *http.Request) {
+	rec := s.opts.Perf
+	if rec == nil {
+		http.Error(w, "perf capture disabled for this run (enable with -perf-out)", http.StatusNotFound)
+		return
+	}
+	var work map[string]float64
+	if s.opts.Obs != nil && s.opts.Obs.Metrics != nil {
+		work = perf.FilterWork(s.opts.Obs.Metrics.Totals())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := rec.WriteJSON(w, work); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (s *Server) appRegistry() *obs.Registry {

@@ -63,12 +63,13 @@ func (k KPath) Allocate(g *graph.Graph, demands []Demand) (*Allocation, error) {
 	}
 
 	var solves int
+	var pre graph.SolveStats // Yen precompute work (Dijkstra runs)
 	states := make([]kpState, len(demands))
 	for i, d := range demands {
 		if d.Volume <= 0 {
 			continue
 		}
-		paths := g.KShortestPaths(d.Src, d.Dst, kk)
+		paths := g.KShortestPathsStats(d.Src, d.Dst, kk, &pre)
 		states[i] = kpState{paths: paths, perPath: make([]float64, len(paths))}
 		solves++
 	}
@@ -77,7 +78,7 @@ func (k KPath) Allocate(g *graph.Graph, demands []Demand) (*Allocation, error) {
 	// lower ones touch the spectrum (fairness applies within a class,
 	// strict precedence across classes).
 	order := byPriority(demands)
-	var phases, pushes int
+	var phases, pushes, scans int
 	for start := 0; start < len(order); {
 		end := start + 1
 		for end < len(order) && demands[order[end]].Priority == demands[order[start]].Priority {
@@ -85,15 +86,25 @@ func (k KPath) Allocate(g *graph.Graph, demands []Demand) (*Allocation, error) {
 		}
 		tier := order[start:end]
 		start = end
-		ph, pu := waterFill(demands, states, tier, inc, remaining)
+		ph, pu, sc := waterFill(demands, states, tier, inc, remaining)
 		phases += ph
 		pushes += pu
+		scans += sc
 	}
 
 	alloc := &Allocation{
 		Results:  make([]DemandResult, len(demands)),
 		EdgeFlow: make([]float64, g.NumEdges()),
-		Solver:   SolverStats{Solves: solves, Phases: phases, Augmentations: pushes},
+		// Phases counts water-fill sweeps plus precompute Dijkstra runs;
+		// Relaxations pools Yen's edge examinations with the water-fill
+		// room scans — the allocator's two inner loops.
+		Solver: SolverStats{
+			Solves:        solves,
+			Phases:        phases + pre.Phases,
+			Augmentations: pushes,
+			Pops:          pre.Pops,
+			Relaxations:   pre.Relaxations + scans,
+		},
 	}
 	for i, d := range demands {
 		st := &states[i]
@@ -123,8 +134,10 @@ type kpState struct {
 
 // waterFill round-robins increments across the given demand indices
 // until none can make progress. It reports the number of round-robin
-// sweeps (phases) and increments applied (pushes) for solver stats.
-func waterFill(demands []Demand, states []kpState, tier []int, inc float64, remaining []float64) (phases, pushes int) {
+// sweeps (phases), increments applied (pushes), and path-edge room
+// scans (scans — the water-filling analogue of arc relaxations) for
+// solver stats.
+func waterFill(demands []Demand, states []kpState, tier []int, inc float64, remaining []float64) (phases, pushes, scans int) {
 	for progressed := true; progressed; {
 		progressed = false
 		phases++
@@ -139,6 +152,7 @@ func waterFill(demands []Demand, states []kpState, tier []int, inc float64, rema
 			// Pick the first (lowest-weight) path with room.
 			for pi, p := range st.paths {
 				room := math.Inf(1)
+				scans += len(p.Edges)
 				for _, id := range p.Edges {
 					if remaining[id] < room {
 						room = remaining[id]
@@ -162,5 +176,5 @@ func waterFill(demands []Demand, states []kpState, tier []int, inc float64, rema
 			}
 		}
 	}
-	return phases, pushes
+	return phases, pushes, scans
 }

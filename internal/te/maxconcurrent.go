@@ -143,6 +143,8 @@ func (m MaxConcurrent) Allocate(g *graph.Graph, demands []Demand) (*Allocation, 
 
 	alloc.Solver.Solves = len(active)
 	alloc.Solver.Phases = phases
+	alloc.Solver.Pops = scratch.pops
+	alloc.Solver.Relaxations = scratch.relax
 
 	// Scale raw flows to feasibility: by the GK analysis, dividing by
 	// log_{1+ε}(1/δ) respects every capacity.
@@ -235,6 +237,13 @@ type gkScratch struct {
 	heap []gkItem
 	rev  []graph.EdgeID
 	path graph.Path
+
+	// Work accounting across the whole Allocate call: heap dequeues and
+	// positive-capacity edges examined, pooled over every Dijkstra run.
+	// This is what turns "MaxConcurrent is N× slower" into a number the
+	// registry can carry: its per-push Dijkstra pops dominate.
+	pops  int
+	relax int
 }
 
 func newGKScratch(n int) *gkScratch {
@@ -297,6 +306,7 @@ func (s *gkScratch) shortestByLength(g *graph.Graph, src, dst graph.NodeID, leng
 	for len(heap) > 0 {
 		it := pop()
 		u := it.node
+		s.pops++
 		if done[u] {
 			continue
 		}
@@ -309,6 +319,7 @@ func (s *gkScratch) shortestByLength(g *graph.Graph, src, dst graph.NodeID, leng
 			if capOf[id] <= graph.Eps {
 				continue
 			}
+			s.relax++
 			if nd := dist[u] + length[id]; nd < dist[e.To] {
 				dist[e.To] = nd
 				prev[e.To] = id

@@ -30,9 +30,12 @@ func (ShortestPath) Allocate(g *graph.Graph, demands []Demand) (*Allocation, err
 		if d.Volume <= 0 {
 			continue
 		}
-		p, _, ok := work.ShortestPathDijkstra(d.Src, d.Dst)
+		var st graph.SolveStats
+		p, _, ok := work.ShortestPathDijkstraStats(d.Src, d.Dst, &st)
 		alloc.Solver.Solves++
 		alloc.Solver.Phases++
+		alloc.Solver.Pops += st.Pops
+		alloc.Solver.Relaxations += st.Relaxations
 		if !ok {
 			continue
 		}

@@ -94,6 +94,13 @@ type SolverStats struct {
 	Phases int
 	// Augmentations aggregates augmenting paths / path pushes applied.
 	Augmentations int
+	// Pops aggregates priority-queue dequeues across every shortest-path
+	// search the allocation ran (graph.SolveStats.Pops).
+	Pops int
+	// Relaxations aggregates inner-loop arc/edge examinations: residual
+	// arcs scanned by Dijkstra/BFS, or path-edge scans for the
+	// water-filling allocator (graph.SolveStats.Relaxations).
+	Relaxations int
 }
 
 // addGraph folds one flow solve's counts into the aggregate.
@@ -101,6 +108,8 @@ func (s *SolverStats) addGraph(st graph.SolveStats) {
 	s.Solves++
 	s.Phases += st.Phases
 	s.Augmentations += st.Augmentations
+	s.Pops += st.Pops
+	s.Relaxations += st.Relaxations
 }
 
 // Allocation is the output of a TE run.

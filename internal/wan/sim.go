@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/alert"
 	"repro/internal/obs/flight"
+	"repro/internal/obs/perf"
 	"repro/internal/par"
 	"repro/internal/qot"
 	"repro/internal/rng"
@@ -125,6 +126,13 @@ type SimConfig struct {
 	// <= 0 means runtime.GOMAXPROCS(0). Results, metrics, and traces
 	// are identical for every value (see internal/par).
 	Workers int
+	// Perf receives per-round wall-clock latencies (one perf phase per
+	// policy, one sample per round) on the segregated side channel (see
+	// internal/obs/perf). Nil disables capture. Perf never feeds back
+	// into results or the deterministic artifacts: a run with Perf set
+	// emits byte-identical stdout/metrics/trace/hist/flight to one
+	// without.
+	Perf *perf.Recorder
 }
 
 // applyDefaults fills zero values.
@@ -518,6 +526,13 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 		return nil, err
 	}
 
+	// Perf phase name, built once: one aggregated phase per policy, one
+	// wall-latency sample per round.
+	perfPhase := ""
+	if cfg.Perf != nil {
+		perfPhase = "wan.round/" + policy.String()
+	}
+
 	for r := 0; r < cfg.Rounds; r++ {
 		if cfg.ColdSolves {
 			// Cold mode: round zero conditions every round — fresh
@@ -535,6 +550,10 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 			endRound = o.Span("wan.round",
 				obs.A("policy", policy.String()), obs.A("round", r))
 			endPhase = o.PhaseTimer(fmt.Sprintf("%s/round%03d", policy, r))
+		}
+		endPerf := noopEnd
+		if cfg.Perf != nil {
+			endPerf = cfg.Perf.Phase(perfPhase)
 		}
 
 		demands := s.demandsBase
@@ -649,6 +668,7 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 			}); err != nil {
 				return nil, err
 			}
+			s.recordAugmenter(o, policy, st.aug.TakeWork())
 			dec := &st.dec
 			// 3. Apply upgrades: raise every wavelength of a changed
 			//    link to its feasible capacity.
@@ -754,6 +774,7 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 		}
 		endRound()
 		endPhase()
+		endPerf()
 		res.Rounds = append(res.Rounds, metrics)
 	}
 	eng.Finish()
@@ -854,6 +875,33 @@ func (s *Simulation) recordSolver(o *obs.Obs, policy Policy, st te.SolverStats) 
 	// would break the byte-identity guarantee and the nowalltime rule.
 	// The te_solver_work_p99 alert thresholds this histogram.
 	o.Histogram("wan_te_solve_work", "Flow-solver work units (augmenting paths) per TE solve.", solveWorkBuckets, pl).Observe(float64(st.Augmentations))
+
+	// rwc_work_*: the exact work-accounting family. Where the wan_te_*
+	// counters summarize, these localize — pops and relaxations are the
+	// inner-loop unit counts that turn "this allocator is N× slower"
+	// into "N× more heap pops per phase on this topology". They are
+	// plain integers derived from solve order alone, so they are
+	// byte-identical at any -workers and feed /queryz per round when a
+	// history sink is attached.
+	o.Counter("rwc_work_solves_total", "Flow-solver invocations (exact work accounting).", pl).Add(float64(st.Solves))
+	o.Counter("rwc_work_ssp_phases_total", "Solver phases: Dijkstra runs / BFS level graphs / water-fill sweeps (exact work accounting).", pl).Add(float64(st.Phases))
+	o.Counter("rwc_work_augmenting_paths_total", "Augmenting paths / path pushes applied (exact work accounting).", pl).Add(float64(st.Augmentations))
+	o.Counter("rwc_work_dijkstra_pops_total", "Priority-queue dequeues across every shortest-path search (exact work accounting).", pl).Add(float64(st.Pops))
+	o.Counter("rwc_work_arc_relaxations_total", "Residual arcs / path edges examined in solver inner loops (exact work accounting).", pl).Add(float64(st.Relaxations))
+}
+
+// recordAugmenter publishes the augmentation layer's per-round work
+// (dynamic policy only). AttributionChecks is deliberately not
+// published: attribution runs only when a flight recorder is attached,
+// and publishing it would break the invariant that flight on/off runs
+// emit byte-identical metrics.
+func (s *Simulation) recordAugmenter(o *obs.Obs, policy Policy, w core.WorkStats) {
+	if o == nil {
+		return
+	}
+	pl := obs.L("policy", policy.String())
+	o.Counter("rwc_work_augmenter_refresh_edges_total", "Edges refreshed into the augmented graph G' (exact work accounting).", pl).Add(float64(w.RefreshEdges))
+	o.Counter("rwc_work_augmenter_translate_scans_total", "Fake-edge scans translating flows back to capacity orders (exact work accounting).", pl).Add(float64(w.TranslateScans))
 }
 
 // solveWorkBuckets spans trivial solves (a handful of paths) to
