@@ -116,6 +116,26 @@ flight-demo:
 	-$(GO) run ./cmd/rwc-replay bisect \
 		/tmp/rwc-flight-demo/run.flight /tmp/rwc-flight-demo/dip.flight
 
+# Service-mode demo: run the reconciler daemon with paced rounds, a
+# config file it watches for hot reloads, and the operations plane up.
+# While it runs, browse:
+#   http://localhost:6060/sliz         service-level indicators + reload log
+#   http://localhost:6060/metrics      run registry + live rwc_sli_* series
+#   http://localhost:6060/demandz      POST demand batches for admission answers
+# Edit /tmp/rwc-daemon-demo/wansimd.json mid-run to trigger a reload;
+# touch it unchanged to see a provable no-op. Ctrl-C drains and exits.
+daemon-demo:
+	rm -rf /tmp/rwc-daemon-demo && mkdir -p /tmp/rwc-daemon-demo
+	printf '{"topology":"abilene","rounds":120,"policy":"dynamic"}\n' \
+		> /tmp/rwc-daemon-demo/wansimd.json
+	$(GO) run ./cmd/rwc-wansimd -config /tmp/rwc-daemon-demo/wansimd.json \
+		-serve localhost:6060 -tick 2s -poll 1s -log info
+
+# Load-harness demo: drive a deterministic client load burst at a
+# daemon started with `make daemon-demo` and print the JSON report.
+loadgen-demo:
+	$(GO) run ./cmd/rwc-loadgen -addr localhost:6060 -duration 5s -seed 1
+
 # Run all example programs.
 examples:
 	$(GO) run ./examples/quickstart

@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/daemon"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
@@ -362,11 +363,13 @@ func main() {
 	}
 
 	// -linger keeps the operations plane up after the figures so
-	// scrapers can read the final state; artifacts are already written.
+	// scrapers can read the final state (artifacts are already
+	// written), sharing the daemon tail so the exit path drains SSE
+	// sessions with shutdown-cause accounting like rwc-wansimd does.
 	if *linger && len(servers) > 0 {
 		fmt.Fprintf(os.Stderr, "rwc-experiments: run complete; lingering until SIGINT/SIGTERM\n")
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-		<-ch
+		daemon.Tail(ch, servers, 0, nil)
 	}
 }

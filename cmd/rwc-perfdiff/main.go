@@ -18,6 +18,9 @@
 //   - a perf artifact (kind "rwc-perf", as written by -perf-out):
 //     per-phase wall latencies plus the deterministic rwc_work_*
 //     counter copy
+//   - a load report (kind "rwc-load", as written by rwc-loadgen):
+//     service-side sustained throughput and client latency
+//     percentiles from a daemon load run
 //
 // Wall-clock metrics are noisy, so they get multiplicative headroom:
 // ns/op and B/op must not grow past -ns-tol / -bytes-tol (default
@@ -48,6 +51,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/load"
 	"repro/internal/obs/perf"
 )
 
@@ -59,6 +63,7 @@ const (
 	classBytes               // bytes per op: allocator noise, wide band
 	classAllocs              // allocs per op: near-deterministic, tight band
 	classWork                // deterministic work counters: exact
+	classRatio               // bounded fractions (drop/error rates): own band
 	classInfo                // informational only: never gates
 )
 
@@ -72,6 +77,8 @@ func (c class) String() string {
 		return "allocs/op"
 	case classWork:
 		return "work"
+	case classRatio:
+		return "ratio"
 	default:
 		return "info"
 	}
@@ -132,13 +139,49 @@ func perfMetrics(rep perf.Report) map[string]metric {
 	return m
 }
 
+// loadMetrics flattens an rwc-loadgen report. Client latency
+// percentiles gate like ns/op; the service's sustained decision rate
+// gates inverted (seconds per decision, so slower = growth = finding);
+// drop and error fractions gate as bounded ratios; volume figures are
+// informational — they measure the offered load, not the service.
+func loadMetrics(rep load.Report) map[string]metric {
+	m := map[string]metric{
+		"loadgen scrape p50_ns":        {float64(rep.Scrape.P50Ns), classNs},
+		"loadgen scrape p99_ns":        {float64(rep.Scrape.P99Ns), classNs},
+		"loadgen query p99_ns":         {float64(rep.Query.P99Ns), classNs},
+		"loadgen scrape max_ns":        {float64(rep.Scrape.MaxNs), classInfo},
+		"loadgen sse drop_fraction":    {rep.SSE.DropFraction, classRatio},
+		"loadgen demand reject_count":  {float64(rep.Demand.Rejected), classInfo},
+		"loadgen demand batches":       {float64(rep.Demand.Batches), classInfo},
+		"loadgen sse events_per_sec":   {rep.SSE.EventsPerSec, classInfo},
+		"loadgen service rounds_delta": {rep.Service.RoundsDelta, classInfo},
+	}
+	if rep.Scrape.Requests > 0 {
+		m["loadgen scrape error_fraction"] = metric{float64(rep.Scrape.Errors) / float64(rep.Scrape.Requests), classRatio}
+	}
+	if rep.Demand.Batches > 0 {
+		m["loadgen demand error_fraction"] = metric{float64(rep.Demand.Errors) / float64(rep.Demand.Batches), classRatio}
+	}
+	if rep.Service.DecisionsPerSec > 0 {
+		m["loadgen service seconds_per_decision"] = metric{1 / rep.Service.DecisionsPerSec, classNs}
+	}
+	return m
+}
+
 // loadRecord reads one input and normalizes it to metrics. kind names
-// what was parsed ("bench", "history", "perf") so the two sides can be
-// checked for comparability.
+// what was parsed ("bench", "history", "perf", "load") so the two
+// sides can be checked for comparability.
 func loadRecord(path, sha string) (kind string, m map[string]metric, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return "", nil, err
+	}
+	if load.IsReport(data) {
+		rep, err := load.Parse(data)
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %v", path, err)
+		}
+		return "load", loadMetrics(rep), nil
 	}
 	if perf.IsReport(data) {
 		var rep perf.Report
@@ -204,7 +247,7 @@ func selectEntry(entries []historyLine, sha, path string) (historyLine, error) {
 
 // tolerances maps each class to its allowed growth ratio.
 type tolerances struct {
-	ns, bytes, allocs float64
+	ns, bytes, allocs, ratio float64
 }
 
 func (t tolerances) limit(c class) (float64, bool) {
@@ -217,6 +260,8 @@ func (t tolerances) limit(c class) (float64, bool) {
 		return t.allocs, true
 	case classWork:
 		return 1.0, true
+	case classRatio:
+		return t.ratio, true
 	default:
 		return 0, false
 	}
@@ -284,6 +329,7 @@ func main() {
 	nsTol := flag.Float64("ns-tol", 1.5, "allowed growth ratio for ns/op (wall time is noisy)")
 	bytesTol := flag.Float64("bytes-tol", 1.5, "allowed growth ratio for B/op")
 	allocsTol := flag.Float64("allocs-tol", 1.2, "allowed growth ratio for allocs/op (near-deterministic)")
+	ratioTol := flag.Float64("ratio-tol", 2.0, "allowed growth ratio for bounded fractions (load-report drop/error rates)")
 	oldSHA := flag.String("old-sha", "", "select this SHA's entry from an OLD bench history (prefix match; default: last line)")
 	newSHA := flag.String("new-sha", "", "select this SHA's entry from a NEW bench history (prefix match; default: last line)")
 	quiet := flag.Bool("quiet", false, "print regressions only, not improvements or one-sided metrics")
@@ -292,7 +338,7 @@ func main() {
 	if flag.NArg() != 2 {
 		usageError(fmt.Errorf("want exactly two arguments OLD NEW, got %d", flag.NArg()))
 	}
-	if *nsTol < 1 || *bytesTol < 1 || *allocsTol < 1 {
+	if *nsTol < 1 || *bytesTol < 1 || *allocsTol < 1 || *ratioTol < 1 {
 		usageError(fmt.Errorf("tolerances are growth ratios and must be >= 1"))
 	}
 	oldKind, oldM, err := loadRecord(flag.Arg(0), *oldSHA)
@@ -303,14 +349,16 @@ func main() {
 	if err != nil {
 		usageError(err)
 	}
-	// bench and history normalize to the same metric space; perf
-	// artifacts live in a different one and only compare to each other.
-	if (oldKind == "perf") != (newKind == "perf") {
+	// bench and history normalize to the same metric space; perf and
+	// load artifacts each live in their own and only compare to
+	// themselves.
+	distinct := func(k string) bool { return k == "perf" || k == "load" }
+	if oldKind != newKind && (distinct(oldKind) || distinct(newKind)) {
 		usageError(fmt.Errorf("cannot compare %s record %s against %s record %s",
 			oldKind, flag.Arg(0), newKind, flag.Arg(1)))
 	}
 
-	lines, onlyOld, onlyNew := compare(oldM, newM, tolerances{*nsTol, *bytesTol, *allocsTol})
+	lines, onlyOld, onlyNew := compare(oldM, newM, tolerances{*nsTol, *bytesTol, *allocsTol, *ratioTol})
 	regressions := 0
 	for _, l := range lines {
 		switch {

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/load"
 	"repro/internal/obs/perf"
 )
 
@@ -149,7 +151,7 @@ func TestCompareWorkCounterShrinkIsAlsoDrift(t *testing.T) {
 	// must surface even though it "improved".
 	oldM := map[string]metric{"rwc_work_x": {100, classWork}}
 	newM := map[string]metric{"rwc_work_x": {99, classWork}}
-	lines, _, _ := compare(oldM, newM, tolerances{1.5, 1.5, 1.2})
+	lines, _, _ := compare(oldM, newM, tolerances{1.5, 1.5, 1.2, 2.0})
 	if len(lines) != 1 || !lines[0].regress {
 		t.Fatalf("lines = %+v, want one work regression", lines)
 	}
@@ -158,9 +160,72 @@ func TestCompareWorkCounterShrinkIsAlsoDrift(t *testing.T) {
 func TestCompareZeroBaseline(t *testing.T) {
 	oldM := map[string]metric{"z ns/op": {0, classNs}}
 	newM := map[string]metric{"z ns/op": {1, classNs}}
-	lines, _, _ := compare(oldM, newM, tolerances{1.5, 1.5, 1.2})
+	lines, _, _ := compare(oldM, newM, tolerances{1.5, 1.5, 1.2, 2.0})
 	if len(lines) != 1 || !lines[0].regress {
 		t.Fatalf("growth from a zero baseline must regress, got %+v", lines)
+	}
+}
+
+func TestLoadRecordLoadReport(t *testing.T) {
+	rep := load.Report{
+		Tool: "rwc-loadgen", Target: "http://x", Seed: 1, DurationNs: 3e9,
+		Scrape:  load.ClientStats{Requests: 30, Errors: 3, P50Ns: 1e6, P99Ns: 4e6, MaxNs: 9e6},
+		Query:   load.ClientStats{Requests: 10, P99Ns: 2e6},
+		Demand:  load.DemandStats{Batches: 20, Demands: 320, Rejected: 40},
+		SSE:     load.SSEStats{Events: 90, DroppedSlowConsumer: 10, DropFraction: 0.1, EventsPerSec: 30},
+		Service: load.ServiceStats{DecisionsPerSec: 25, RoundsDelta: 12},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := writeFile(t, "load.json", buf.String())
+	kind, m, err := loadRecord(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "load" {
+		t.Fatalf("kind = %q, want load", kind)
+	}
+	if got := m["loadgen scrape p99_ns"]; got.value != 4e6 || got.class != classNs {
+		t.Fatalf("scrape p99 = %+v, want 4e6/classNs", got)
+	}
+	if got := m["loadgen sse drop_fraction"]; got.value != 0.1 || got.class != classRatio {
+		t.Fatalf("drop fraction = %+v, want 0.1/classRatio", got)
+	}
+	if got := m["loadgen scrape error_fraction"]; got.value != 0.1 || got.class != classRatio {
+		t.Fatalf("error fraction = %+v, want 0.1/classRatio", got)
+	}
+	// Throughput gates inverted: seconds per decision, so slower = growth.
+	if got := m["loadgen service seconds_per_decision"]; got.value != 1.0/25 || got.class != classNs {
+		t.Fatalf("seconds_per_decision = %+v, want 0.04/classNs", got)
+	}
+	if got := m["loadgen demand batches"]; got.class != classInfo {
+		t.Fatalf("offered-load volume must stay informational, got %+v", got)
+	}
+}
+
+func TestCompareRatioBand(t *testing.T) {
+	tol := tolerances{1.5, 1.5, 1.2, 2.0}
+	oldM := map[string]metric{
+		"ok drop_fraction":  {0.10, classRatio},
+		"bad drop_fraction": {0.10, classRatio},
+		"was-zero fraction": {0, classRatio},
+	}
+	newM := map[string]metric{
+		"ok drop_fraction":  {0.19, classRatio}, // within 2.0x: ok
+		"bad drop_fraction": {0.21, classRatio}, // past 2.0x: regression
+		"was-zero fraction": {0.01, classRatio}, // any growth from zero: regression
+	}
+	lines, _, _ := compare(oldM, newM, tol)
+	regressed := map[string]bool{}
+	for _, l := range lines {
+		if l.regress {
+			regressed[l.name] = true
+		}
+	}
+	if len(regressed) != 2 || !regressed["bad drop_fraction"] || !regressed["was-zero fraction"] {
+		t.Fatalf("ratio regressions = %v, want {bad drop_fraction, was-zero fraction}", regressed)
 	}
 }
 

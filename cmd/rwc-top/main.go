@@ -92,6 +92,17 @@ type perfzJSON struct {
 	Work map[string]float64 `json:"work"`
 }
 
+// slizJSON is the slice of the /sliz snapshot rwc-top renders.
+type slizJSON struct {
+	Tool         string             `json:"tool"`
+	Generation   uint64             `json:"generation"`
+	UptimeNs     int64              `json:"uptime_ns"`
+	Totals       map[string]float64 `json:"totals"`
+	ActiveAlerts []struct {
+		Rule string `json:"rule"`
+	} `json:"active_alerts"`
+}
+
 // getJSON fetches one endpoint and decodes it. A 404 is reported as
 // errDisabled so callers can degrade instead of failing.
 var errDisabled = fmt.Errorf("endpoint disabled")
@@ -223,8 +234,9 @@ func renderFrame(w io.Writer, client *http.Client, cfg config) error {
 	if !histOK {
 		fmt.Fprintf(w, "  history disabled for this run — start it with -hist-out to enable /queryz\n")
 		fmt.Fprintf(w, "\nALERTS\n  unavailable without history\n")
-		// Perf is independent of history: a -perf-out run without
-		// -hist-out still gets its panel.
+		// Service and perf are independent of history: a daemon or
+		// -perf-out run without -hist-out still gets those panels.
+		renderService(w, client, cfg)
 		renderPerf(w, client, cfg)
 		return nil
 	}
@@ -249,8 +261,75 @@ func renderFrame(w io.Writer, client *http.Client, cfg config) error {
 		fmt.Fprintf(w, "  none firing\n")
 	}
 
+	renderService(w, client, cfg)
 	renderPerf(w, client, cfg)
 	return nil
+}
+
+// renderService draws the SERVICE panel from /sliz (and a
+// decisions/sec sparkline from /queryz over the SLI history). Outside
+// daemon mode /sliz answers 404 and the panel degrades to a note;
+// any other failure degrades too — the panel is advisory and must
+// never take down a frame that /runz answered.
+func renderService(w io.Writer, client *http.Client, cfg config) {
+	var sz slizJSON
+	if err := getJSON(client, cfg.base+"/sliz", &sz); err != nil {
+		if err == errDisabled {
+			fmt.Fprintf(w, "\nSERVICE\n  service-level indicators disabled — run under rwc-wansimd to enable /sliz\n")
+		} else {
+			fmt.Fprintf(w, "\nSERVICE\n  unavailable: %v\n", err)
+		}
+		return
+	}
+	fmt.Fprintf(w, "\nSERVICE (%s — live only, never in the deterministic artifacts)\n", sz.Tool)
+	fmt.Fprintf(w, "  uptime %s  config generation %d\n",
+		time.Duration(sz.UptimeNs).Round(time.Millisecond), sz.Generation)
+
+	// Decisions/sec sparkline over the SLI history store; the series
+	// is uptime-clocked, so the window query uses uptime as "now".
+	if results, err := queryRange(client, cfg, "rwc_sli_decisions_per_second", sz.UptimeNs); err == nil {
+		for _, r := range results {
+			if len(r.Samples) == 0 {
+				continue
+			}
+			vals := make([]float64, len(r.Samples))
+			for i, s := range r.Samples {
+				vals[i] = s.V
+			}
+			fmt.Fprintf(w, "  %-58s %10.3f  %s\n", r.Name, vals[len(vals)-1], sparkline(vals, cfg.width))
+		}
+	}
+
+	// Headline gauges/counters straight from the snapshot totals.
+	show := func(label string, keys ...string) {
+		var sum float64
+		found := false
+		for k, v := range sz.Totals {
+			for _, key := range keys {
+				if k == key || strings.HasPrefix(k, key+"{") {
+					sum += v
+					found = true
+				}
+			}
+		}
+		if found {
+			fmt.Fprintf(w, "  %-58s %12.3f\n", label, sum)
+		}
+	}
+	show("scrape p99 proxy: last scrape latency (s)", "rwc_sli_scrape_latency_last_seconds")
+	show("sse subscribers", "rwc_sli_sse_subscribers")
+	show("sse dropped (all causes)", "rwc_sli_sse_dropped_total")
+	show("config reloads (all results)", "rwc_sli_config_reloads_total")
+	show("rounds completed", "rwc_sli_rounds_total")
+	show("decisions total", "rwc_sli_decisions_total")
+
+	if len(sz.ActiveAlerts) == 0 {
+		fmt.Fprintf(w, "  service alerts: none firing\n")
+	} else {
+		for _, a := range sz.ActiveAlerts {
+			fmt.Fprintf(w, "  service alert FIRING: %s\n", a.Rule)
+		}
+	}
 }
 
 // topWorkCounters caps how many work counters the PERF panel lists.

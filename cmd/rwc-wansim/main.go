@@ -78,6 +78,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/daemon"
 	"repro/internal/obs"
 	"repro/internal/obs/alert"
 	"repro/internal/obs/flight"
@@ -85,7 +86,6 @@ import (
 	"repro/internal/obs/olog"
 	"repro/internal/obs/perf"
 	"repro/internal/obs/serve"
-	"repro/internal/te"
 	"repro/internal/wan"
 )
 
@@ -97,46 +97,10 @@ func parseOverrideSNR(s string) (fiber, wavelength, round int, db float64, err e
 	return
 }
 
-// parseTopology is the single validation path for -topology, shared
-// with rwc-experiments via wan.ParseTopology. It validates the
-// wavelength count too, so degenerate configurations fail here with
+// Topology, TE, and policy parsing share one validation path with
+// rwc-wansimd and rwc-experiments: wan.ParseTopology, wan.ParseTE,
+// and wan.ParsePolicies. Degenerate configurations fail here with
 // exit 2 instead of deep inside a simulation round.
-func parseTopology(name string, wavelengths int, seed uint64) (*wan.Network, error) {
-	return wan.ParseTopology(name, wavelengths, seed)
-}
-
-// parseTE is the single validation path for -te. Empty selects the
-// simulation default (greedy, warm-started by the round loop).
-func parseTE(name string) (te.Algorithm, error) {
-	switch name {
-	case "", "greedy":
-		return nil, nil
-	case "shortest-path", "shortest":
-		return te.ShortestPath{}, nil
-	case "kpath":
-		return te.KPath{}, nil
-	case "maxconcurrent":
-		return te.MaxConcurrent{}, nil
-	default:
-		return nil, fmt.Errorf("unknown TE algorithm %q (greedy, shortest-path, kpath, maxconcurrent)", name)
-	}
-}
-
-// parsePolicy is the single validation path for -policy.
-func parsePolicy(name string) ([]wan.Policy, error) {
-	switch name {
-	case "all":
-		return []wan.Policy{wan.PolicyStatic100, wan.PolicyStaticMax, wan.PolicyDynamic}, nil
-	case "static100":
-		return []wan.Policy{wan.PolicyStatic100}, nil
-	case "staticmax":
-		return []wan.Policy{wan.PolicyStaticMax}, nil
-	case "dynamic":
-		return []wan.Policy{wan.PolicyDynamic}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q (static100, staticmax, dynamic, all)", name)
-	}
-}
 
 // usageError reports a flag-validation failure consistently: one
 // stderr line, exit 2 (matching flag package convention).
@@ -149,21 +113,6 @@ func usageError(err error) {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "rwc-wansim: %v\n", err)
 	os.Exit(1)
-}
-
-// writeOutput writes one observability artifact to path.
-func writeOutput(path string, write func(*os.File) error) {
-	f, err := os.Create(path)
-	if err != nil {
-		fatal(err)
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		fatal(err)
-	}
 }
 
 func main() {
@@ -199,11 +148,11 @@ func main() {
 
 	// Validate every enumerated flag through one path before doing any
 	// work, so bad values always produce the same stderr shape + exit 2.
-	run, err := parsePolicy(*policy)
+	run, err := wan.ParsePolicies(*policy)
 	if err != nil {
 		usageError(err)
 	}
-	net, err := parseTopology(*topology, *wavelengths, *seed)
+	net, err := wan.ParseTopology(*topology, *wavelengths, *seed)
 	if err != nil {
 		usageError(err)
 	}
@@ -220,7 +169,7 @@ func main() {
 	if err != nil {
 		usageError(err)
 	}
-	alg, err := parseTE(*teAlg)
+	alg, err := wan.ParseTE(*teAlg)
 	if err != nil {
 		usageError(err)
 	}
@@ -236,8 +185,7 @@ func main() {
 	if *metricsOut != "" || *traceOut != "" || *manifestOut != "" || *flightOut != "" ||
 		*histOut != "" || *perfOut != "" || *serveAddr != "" || *pprofAddr != "" || *logLevel != "" {
 		o = obs.New("rwc-wansim")
-		start := time.Now()
-		o.Wall = obs.ClockFunc(func() time.Duration { return time.Since(start) })
+		o.Wall = daemon.WallClock(time.Now())
 		o.Manifest.SetSeed(*seed)
 		flag.VisitAll(func(fl *flag.Flag) {
 			o.Manifest.SetOption(fl.Name, fl.Value.String())
@@ -349,9 +297,10 @@ func main() {
 		srv.SetReady(true)
 	}
 
-	fmt.Printf("# topology=%s nodes=%d fibers=%d wavelengths=%d rounds=%d demand=%.2fx seed=%d\n",
-		*topology, net.G.NumNodes(), net.NumFibers, *wavelengths, *rounds, *demand, *seed)
-	fmt.Println("policy,round,offered_gbps,shipped_gbps,satisfied,capacity_gbps,changes,dark_links,disrupted_gbps_sec")
+	daemon.PrintRunHeader(os.Stdout, daemon.Params{
+		Topology: *topology, Wavelengths: *wavelengths, Rounds: *rounds,
+		Demand: *demand, Seed: *seed,
+	}, net)
 	// Policies run concurrently (-workers) against the same conditions;
 	// per-policy obs children are merged back in policy order inside
 	// RunPolicies, so every output below is byte-identical to a serial
@@ -360,71 +309,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for i, p := range run {
-		res := results[i]
-		for _, m := range res.Rounds {
-			fmt.Printf("%s,%d,%.1f,%.1f,%.4f,%.0f,%d,%d,%.1f\n",
-				p, m.Round, m.OfferedGbps, m.ShippedGbps, m.SatisfiedFraction(),
-				m.CapacityGbps, m.Changes, m.LinksDark, m.DisruptedGbpsSec)
-		}
-		dark := 0
-		var disrupted float64
-		for _, m := range res.Rounds {
-			dark += m.LinksDark
-			disrupted += m.DisruptedGbpsSec
-		}
-		fmt.Printf("# %s summary: mean_satisfied=%.4f total_shipped=%.0f changes=%d dark_link_rounds=%d disrupted_gbps_sec=%.0f\n",
-			p, res.MeanSatisfied(), res.TotalShipped(), res.TotalChanges(), dark, disrupted)
-	}
+	daemon.PrintResults(os.Stdout, run, results)
 
-	if o != nil {
-		o.FinishManifest()
-		if *metricsOut != "" {
-			writeOutput(*metricsOut, func(f *os.File) error { return o.Metrics.WritePrometheus(f) })
-		}
-		if *traceOut != "" {
-			writeOutput(*traceOut, func(f *os.File) error { return o.Trace.WriteJSONL(f) })
-		}
-		if *manifestOut != "" {
-			writeOutput(*manifestOut, func(f *os.File) error { return o.Manifest.WriteJSON(f) })
-		}
-		if histStore != nil {
-			archive := histStore.Archive()
-			writeOutput(*histOut, func(f *os.File) error {
-				if strings.HasSuffix(*histOut, ".jsonl") {
-					return archive.WriteJSONL(f)
-				}
-				return archive.WriteBinary(f)
-			})
-		}
-		// Written after the artifacts above so the trailer embeds their
-		// final state — that's what lets `rwc-replay replay` regenerate
-		// them byte-identically from the log alone.
-		if recorder != nil {
-			writeOutput(*flightOut, func(f *os.File) error {
-				return recorder.WriteLog(f, flight.Meta{Tool: "rwc-wansim", Seed: int64(*seed), Interval: *interval}, o)
-			})
-		}
-		// The perf artifact is written last: profiles stop first so the
-		// heap snapshot covers the whole run, and the Work section copies
-		// the final rwc_work_* totals out of the deterministic registry.
-		if perfRec != nil {
-			if err := perfRec.StopProfiles(); err != nil {
-				fatal(err)
-			}
-			writeOutput(*perfOut, func(f *os.File) error {
-				return perfRec.WriteJSON(f, perf.FilterWork(o.Metrics.Totals()))
-			})
-		}
+	// Artifact flush and -linger ride the shared daemon lifecycle:
+	// rwc-wansim is the zero-round-tail special case of service mode,
+	// so the flush order and the drain-at-exit semantics are the same
+	// implementation rwc-wansimd shuts down with.
+	arts := daemon.Artifacts{
+		MetricsOut:  *metricsOut,
+		TraceOut:    *traceOut,
+		ManifestOut: *manifestOut,
+		HistOut:     *histOut,
+		FlightOut:   *flightOut,
+		PerfOut:     *perfOut,
+		FlightMeta:  flight.Meta{Tool: "rwc-wansim", Seed: int64(*seed), Interval: *interval},
+	}
+	if err := arts.Flush(o, histStore, recorder, perfRec); err != nil {
+		fatal(err)
 	}
 
 	// -linger keeps the operations plane up after the run so scrapers
-	// and the CI smoke can read the final state; artifacts above are
-	// already on disk at this point.
+	// and the CI smoke can read the final state (artifacts above are
+	// already on disk), then drains the servers on the way out so SSE
+	// sessions end with shutdown-cause accounting.
 	if *linger && len(servers) > 0 {
 		fmt.Fprintf(os.Stderr, "rwc-wansim: run complete; lingering until SIGINT/SIGTERM\n")
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-		<-ch
+		daemon.Tail(ch, servers, 0, nil)
 	}
 }

@@ -1,0 +1,146 @@
+package daemon
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/hist"
+	"repro/internal/obs/perf"
+	"repro/internal/wan"
+)
+
+// Artifacts is the set of observability output paths plus the flight
+// meta, flushed once at shutdown. This is the single flush
+// implementation shared by rwc-wansim (one-shot and -linger) and
+// rwc-wansimd: the write order is canonical — metrics, trace,
+// manifest, hist, flight, perf — because the flight trailer embeds
+// the final metrics/trace state and the perf artifact copies the
+// final rwc_work_* totals, so those two must go last.
+type Artifacts struct {
+	MetricsOut  string
+	TraceOut    string
+	ManifestOut string
+	HistOut     string
+	FlightOut   string
+	PerfOut     string
+	// FlightMeta stamps the flight log header (tool, seed, interval).
+	FlightMeta flight.Meta
+}
+
+// writeFile writes one artifact, propagating the first error.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Flush finishes the manifest and writes every configured artifact.
+// Safe under a nil bundle (writes nothing) and with any subset of
+// subsystems enabled. Called exactly once, after the last round has
+// drained — which is why a mid-round SIGTERM can never leave a
+// truncated RWCFLT1/RWCHIST1 on disk: the flush only starts after the
+// in-flight round completes.
+func (a Artifacts) Flush(o *obs.Obs, histStore *hist.Store, recorder *flight.Recorder, perfRec *perf.Recorder) error {
+	if o == nil {
+		return nil
+	}
+	o.FinishManifest()
+	if a.MetricsOut != "" {
+		if err := writeFile(a.MetricsOut, func(f *os.File) error { return o.Metrics.WritePrometheus(f) }); err != nil {
+			return err
+		}
+	}
+	if a.TraceOut != "" {
+		if err := writeFile(a.TraceOut, func(f *os.File) error { return o.Trace.WriteJSONL(f) }); err != nil {
+			return err
+		}
+	}
+	if a.ManifestOut != "" {
+		if err := writeFile(a.ManifestOut, func(f *os.File) error { return o.Manifest.WriteJSON(f) }); err != nil {
+			return err
+		}
+	}
+	if histStore != nil && a.HistOut != "" {
+		archive := histStore.Archive()
+		if err := writeFile(a.HistOut, func(f *os.File) error {
+			if strings.HasSuffix(a.HistOut, ".jsonl") {
+				return archive.WriteJSONL(f)
+			}
+			return archive.WriteBinary(f)
+		}); err != nil {
+			return err
+		}
+	}
+	// Written after the artifacts above so the trailer embeds their
+	// final state — that's what lets `rwc-replay replay` regenerate
+	// them byte-identically from the log alone.
+	if recorder != nil && a.FlightOut != "" {
+		if err := writeFile(a.FlightOut, func(f *os.File) error {
+			return recorder.WriteLog(f, a.FlightMeta, o)
+		}); err != nil {
+			return err
+		}
+	}
+	// The perf artifact is written last: profiles stop first so the
+	// heap snapshot covers the whole run, and the Work section copies
+	// the final rwc_work_* totals out of the deterministic registry.
+	if perfRec != nil && a.PerfOut != "" {
+		if err := perfRec.StopProfiles(); err != nil {
+			return err
+		}
+		if err := writeFile(a.PerfOut, func(f *os.File) error {
+			return perfRec.WriteJSON(f, perf.FilterWork(o.Metrics.Totals()))
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrintRunHeader writes the run's comment header and CSV column line,
+// byte-identical to rwc-wansim's. One header per config generation.
+func PrintRunHeader(w io.Writer, p Params, net *wan.Network) {
+	fmt.Fprintf(w, "# topology=%s nodes=%d fibers=%d wavelengths=%d rounds=%d demand=%.2fx seed=%d\n",
+		p.Topology, net.G.NumNodes(), net.NumFibers, p.Wavelengths, p.Rounds, p.Demand, p.Seed)
+	fmt.Fprintln(w, "policy,round,offered_gbps,shipped_gbps,satisfied,capacity_gbps,changes,dark_links,disrupted_gbps_sec")
+}
+
+// PrintResults writes per-round CSV rows and the per-policy summary
+// comment, byte-identical to rwc-wansim's output for the same run.
+func PrintResults(w io.Writer, policies []wan.Policy, results []*wan.Result) {
+	for i, p := range policies {
+		res := results[i]
+		for _, m := range res.Rounds {
+			fmt.Fprintf(w, "%s,%d,%.1f,%.1f,%.4f,%.0f,%d,%d,%.1f\n",
+				p, m.Round, m.OfferedGbps, m.ShippedGbps, m.SatisfiedFraction(),
+				m.CapacityGbps, m.Changes, m.LinksDark, m.DisruptedGbpsSec)
+		}
+		dark := 0
+		var disrupted float64
+		for _, m := range res.Rounds {
+			dark += m.LinksDark
+			disrupted += m.DisruptedGbpsSec
+		}
+		fmt.Fprintf(w, "# %s summary: mean_satisfied=%.4f total_shipped=%.0f changes=%d dark_link_rounds=%d disrupted_gbps_sec=%.0f\n",
+			p, res.MeanSatisfied(), res.TotalShipped(), res.TotalChanges(), dark, disrupted)
+	}
+}
+
+// WallClock returns an obs wall clock anchored at start — the same
+// injection rwc-wansim performs, shared so both commands stamp
+// manifests identically. time.Duration granularity keeps the obs
+// bundle free of absolute wall time.
+func WallClock(start time.Time) obs.Clock {
+	return obs.ClockFunc(func() time.Duration { return time.Since(start) })
+}

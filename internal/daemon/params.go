@@ -1,0 +1,205 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/te"
+	"repro/internal/wan"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("6h", "250ms") in the daemon's JSON config, and also accepts a
+// plain nanosecond number.
+type Duration time.Duration
+
+// MarshalJSON renders the duration string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "6h" strings and nanosecond numbers.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("bad duration %q: %v", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("duration must be a string like \"6h\" or a nanosecond number")
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Params is the daemon's reloadable simulation configuration — the
+// subset of rwc-wansim's flags that define *what is simulated* (the
+// artifact paths, serve addresses, and tick cadence stay process
+// flags: changing those means restarting the service). The struct is
+// comparable, so an identical-config reload is detected by plain
+// equality and provably changes nothing.
+type Params struct {
+	// Topology is the backbone spec (abilene, us, random[:N],
+	// continental:N).
+	Topology string `json:"topology"`
+	// Wavelengths per fiber (default 2).
+	Wavelengths int `json:"wavelengths,omitempty"`
+	// Rounds is the TE round budget per config generation (default 28).
+	Rounds int `json:"rounds,omitempty"`
+	// Interval is the simulated time between rounds (default 6h).
+	Interval Duration `json:"interval,omitempty"`
+	// Policy selects static100, staticmax, dynamic, or all (default all).
+	Policy string `json:"policy,omitempty"`
+	// TE selects the allocator (default greedy).
+	TE string `json:"te,omitempty"`
+	// Demand is offered load as a fraction of static capacity (default 1.2).
+	Demand float64 `json:"demand,omitempty"`
+	// DemandSigma is per-round demand churn (default 0.1).
+	DemandSigma float64 `json:"demand_sigma,omitempty"`
+	// MaxDemands caps gravity demands (0 = all; continental topologies
+	// default to 4×nodes, matching rwc-wansim).
+	MaxDemands int `json:"max_demands,omitempty"`
+	// Seed drives SNR evolution and traffic churn (default 2017).
+	Seed uint64 `json:"seed,omitempty"`
+	// Hitless assumes 35 ms capacity changes instead of 68 s.
+	Hitless bool `json:"hitless,omitempty"`
+	// LengthAware derives SNR baselines from link length.
+	LengthAware bool `json:"lengthaware,omitempty"`
+}
+
+// Normalized fills defaults, mirroring rwc-wansim's flag defaults so
+// a daemon config and the equivalent one-shot flags mean the same run.
+func (p Params) Normalized() Params {
+	if p.Topology == "" {
+		p.Topology = "abilene"
+	}
+	if p.Wavelengths == 0 {
+		p.Wavelengths = 2
+	}
+	if p.Rounds == 0 {
+		p.Rounds = 28
+	}
+	if p.Interval == 0 {
+		p.Interval = Duration(6 * time.Hour)
+	}
+	if p.Policy == "" {
+		p.Policy = "all"
+	}
+	if p.Demand == 0 {
+		p.Demand = 1.2
+	}
+	if p.DemandSigma == 0 {
+		p.DemandSigma = 0.1
+	}
+	if p.Seed == 0 {
+		p.Seed = 2017
+	}
+	if p.MaxDemands == 0 && strings.HasPrefix(p.Topology, "continental") {
+		if net, err := wan.ParseTopology(p.Topology, p.Wavelengths, p.Seed); err == nil {
+			p.MaxDemands = 4 * net.G.NumNodes()
+		}
+	}
+	return p
+}
+
+// Validate runs every enumerated field through the shared parse paths
+// and builds nothing: a config file is accepted or rejected as a
+// whole before it can touch a running simulation (reject-and-keep-
+// last-known-good depends on this being side-effect free).
+func (p Params) Validate() error {
+	if _, err := wan.ParsePolicies(p.Policy); err != nil {
+		return err
+	}
+	if _, err := wan.ParseTE(p.TE); err != nil {
+		return err
+	}
+	if _, err := wan.ParseTopology(p.Topology, p.Wavelengths, p.Seed); err != nil {
+		return err
+	}
+	if p.Rounds <= 0 {
+		return fmt.Errorf("rounds must be >= 1, got %d", p.Rounds)
+	}
+	if p.Interval <= 0 {
+		return fmt.Errorf("interval must be positive, got %v", time.Duration(p.Interval))
+	}
+	if p.Demand < 0 {
+		return fmt.Errorf("negative demand %v", p.Demand)
+	}
+	if p.DemandSigma < 0 {
+		return fmt.Errorf("negative demand_sigma %v", p.DemandSigma)
+	}
+	if p.MaxDemands < 0 {
+		return fmt.Errorf("negative max_demands %d", p.MaxDemands)
+	}
+	return nil
+}
+
+// Policies resolves the policy selection (call after Validate).
+func (p Params) Policies() ([]wan.Policy, error) {
+	return wan.ParsePolicies(p.Policy)
+}
+
+// Network builds the backbone (call after Validate).
+func (p Params) Network() (*wan.Network, error) {
+	return wan.ParseTopology(p.Topology, p.Wavelengths, p.Seed)
+}
+
+// Algorithm resolves the TE selection (nil = simulation default).
+func (p Params) Algorithm() (te.Algorithm, error) {
+	return wan.ParseTE(p.TE)
+}
+
+// SimConfig assembles the wan.SimConfig core: everything Params
+// defines, nothing the daemon wires (Obs, Flight, Pace, hooks).
+func (p Params) SimConfig(net *wan.Network) (wan.SimConfig, error) {
+	alg, err := p.Algorithm()
+	if err != nil {
+		return wan.SimConfig{}, err
+	}
+	cfg := wan.SimConfig{
+		Net:            net,
+		Rounds:         p.Rounds,
+		RoundInterval:  time.Duration(p.Interval),
+		Seed:           p.Seed,
+		DemandFraction: p.Demand,
+		DemandSigma:    p.DemandSigma,
+		MaxDemands:     p.MaxDemands,
+		LengthAware:    p.LengthAware,
+	}
+	if alg != nil {
+		cfg.TE = alg
+	}
+	if p.Hitless {
+		cfg.ChangeDowntime = 35 * time.Millisecond
+	}
+	return cfg, nil
+}
+
+// LoadParams reads, strictly decodes, normalizes, and validates a
+// daemon config file. Unknown fields are errors — a typoed key must
+// fail the reload, not silently run defaults.
+func LoadParams(path string) (Params, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Params{}, err
+	}
+	var p Params
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Params{}, fmt.Errorf("%s: %v", path, err)
+	}
+	p = p.Normalized()
+	if err := p.Validate(); err != nil {
+		return Params{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return p, nil
+}

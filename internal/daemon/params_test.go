@@ -1,0 +1,140 @@
+package daemon
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestDurationJSONRoundTrip(t *testing.T) {
+	d := Duration(6 * time.Hour)
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"6h0m0s"` {
+		t.Fatalf("marshal = %s, want \"6h0m0s\"", b)
+	}
+	var back Duration
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatalf("round trip = %v, want %v", back, d)
+	}
+	// Plain nanosecond numbers are accepted too.
+	if err := json.Unmarshal([]byte("250000000"), &back); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(back) != 250*time.Millisecond {
+		t.Fatalf("numeric form = %v, want 250ms", time.Duration(back))
+	}
+	if err := json.Unmarshal([]byte(`"not-a-duration"`), &back); err == nil {
+		t.Fatal("bad duration string accepted")
+	}
+}
+
+func TestNormalizedMirrorsOneShotDefaults(t *testing.T) {
+	p := Params{}.Normalized()
+	want := Params{
+		Topology: "abilene", Wavelengths: 2, Rounds: 28,
+		Interval: Duration(6 * time.Hour), Policy: "all",
+		Demand: 1.2, DemandSigma: 0.1, Seed: 2017,
+	}
+	if p != want {
+		t.Fatalf("Normalized() = %+v, want the rwc-wansim flag defaults %+v", p, want)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("normalized defaults do not validate: %v", err)
+	}
+}
+
+func TestNormalizedCapsContinentalDemands(t *testing.T) {
+	p := Params{Topology: "continental:40"}.Normalized()
+	if p.MaxDemands != 160 {
+		t.Fatalf("continental:40 MaxDemands = %d, want 4×nodes = 160", p.MaxDemands)
+	}
+	// An explicit cap always wins.
+	p = Params{Topology: "continental:40", MaxDemands: 7}.Normalized()
+	if p.MaxDemands != 7 {
+		t.Fatalf("explicit MaxDemands overridden: %d", p.MaxDemands)
+	}
+}
+
+func TestValidateRejectsBadFields(t *testing.T) {
+	base := Params{Topology: "abilene", Wavelengths: 2, Rounds: 5, Interval: Duration(time.Hour), Policy: "all", Demand: 1, DemandSigma: 0.1, Seed: 1}
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"bad policy", func(p *Params) { p.Policy = "yolo" }},
+		{"bad te", func(p *Params) { p.TE = "magic" }},
+		{"bad topology", func(p *Params) { p.Topology = "moon-base" }},
+		{"zero rounds", func(p *Params) { p.Rounds = 0 }},
+		{"negative interval", func(p *Params) { p.Interval = Duration(-time.Second) }},
+		{"negative demand", func(p *Params) { p.Demand = -1 }},
+		{"negative sigma", func(p *Params) { p.DemandSigma = -0.5 }},
+		{"negative max_demands", func(p *Params) { p.MaxDemands = -2 }},
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base params invalid: %v", err)
+	}
+	for _, tc := range cases {
+		p := base
+		tc.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, p)
+		}
+	}
+}
+
+func TestLoadParamsStrictDecode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wansimd.json")
+
+	ok := `{"topology":"random:8","rounds":4,"interval":"1h","seed":9}`
+	if err := os.WriteFile(path, []byte(ok), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadParams(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Topology != "random:8" || p.Rounds != 4 || time.Duration(p.Interval) != time.Hour || p.Seed != 9 {
+		t.Fatalf("LoadParams = %+v", p)
+	}
+	// Unset fields were normalized to the one-shot defaults.
+	if p.Policy != "all" || p.Wavelengths != 2 || p.Demand != 1.2 {
+		t.Fatalf("LoadParams did not normalize defaults: %+v", p)
+	}
+
+	for _, bad := range []string{
+		`{"topology":"abilene","workers":4}`, // unknown key: not a sim param
+		`{"topology":"abilene",`,             // syntax error
+		`{"topology":"nowhere"}`,             // fails validation
+	} {
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadParams(path); err == nil {
+			t.Errorf("LoadParams accepted %s", bad)
+		}
+	}
+	if _, err := LoadParams(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadParams accepted a missing file")
+	}
+}
+
+func TestParamsComparableForNoopDetection(t *testing.T) {
+	a := Params{Topology: "abilene"}.Normalized()
+	b := Params{Topology: "abilene"}.Normalized()
+	if a != b {
+		t.Fatal("identical normalized params compare unequal; no-op reload detection depends on ==")
+	}
+	b.Seed++
+	if a == b {
+		t.Fatal("different params compare equal")
+	}
+}

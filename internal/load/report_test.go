@@ -1,0 +1,79 @@
+package load
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := Report{
+		Tool:       "rwc-loadgen",
+		Target:     "http://127.0.0.1:7719",
+		Seed:       42,
+		DurationNs: 3e9,
+		Demand:     DemandStats{Batches: 10, Demands: 160, Admitted: 120, Rejected: 40, OfferedGbps: 900, AdmittedGbps: 600},
+		Scrape:     ClientStats{Requests: 30, P99Ns: 5e6},
+		SSE:        SSEStats{Subscribers: 2, Events: 100, DroppedSlowConsumer: 25, DropFraction: 0.2},
+		Service:    ServiceStats{DecisionsDelta: 84, DecisionsPerSec: 28, Generation: 2},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !IsReport(buf.Bytes()) {
+		t.Fatal("IsReport does not recognize its own WriteJSON output")
+	}
+	back, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Kind = ReportKind // WriteJSON stamps the kind
+	if back != rep {
+		t.Fatalf("round trip = %+v, want %+v", back, rep)
+	}
+}
+
+func TestParseRejectsOtherKinds(t *testing.T) {
+	if _, err := Parse([]byte(`{"kind":"rwc-perf"}`)); err == nil {
+		t.Fatal("Parse accepted a perf artifact")
+	}
+	if _, err := Parse([]byte(`not json`)); err == nil {
+		t.Fatal("Parse accepted garbage")
+	}
+	if IsReport([]byte(`{"kind":"rwc-perf"}`)) {
+		t.Fatal("IsReport matched a perf artifact")
+	}
+}
+
+func TestClientStatsPercentiles(t *testing.T) {
+	// 1..100 in shuffled order: nearest-rank percentiles are exact.
+	var samples []int64
+	for i := 100; i >= 1; i-- {
+		samples = append(samples, int64(i))
+	}
+	cs := clientStats(samples, 3)
+	if cs.Requests != 100 || cs.Errors != 3 {
+		t.Fatalf("counts = %+v", cs)
+	}
+	if cs.P50Ns != 50 || cs.P95Ns != 95 || cs.P99Ns != 99 || cs.MaxNs != 100 {
+		t.Fatalf("percentiles = %+v", cs)
+	}
+	if cs.MeanNs != 50 { // floor(5050/100)
+		t.Fatalf("mean = %d, want 50", cs.MeanNs)
+	}
+	if got := clientStats(nil, 0); got.Requests != 0 || got.P99Ns != 0 {
+		t.Fatalf("empty stats = %+v", got)
+	}
+}
+
+func TestGravityIsDeterministic(t *testing.T) {
+	a, b := newGravity(7, 12), newGravity(7, 12)
+	for i := 0; i < 5; i++ {
+		if x, y := a.batch(8), b.batch(8); x != y {
+			t.Fatalf("batch %d diverged:\n%s\n%s", i, x, y)
+		}
+	}
+	if newGravity(7, 12).batch(8) == newGravity(8, 12).batch(8) {
+		t.Fatal("different seeds produced identical batches")
+	}
+}

@@ -432,12 +432,29 @@ func withExtra(labels []Label, key, value string) string {
 // series sorted by label signature, histogram buckets cumulative with
 // a +Inf bucket. Output is byte-identical across identical runs.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writePrometheus(w, nil)
+}
+
+// WritePrometheusPrefix writes only the families whose name starts
+// with prefix, in the same exposition format. The serve layer uses it
+// to publish the SLI registry's rwc_sli_* families on a shared scrape
+// without leaking that registry's internal families (the alert
+// engine's alerts_* bookkeeping) into a namespace another registry
+// already owns.
+func (r *Registry) WritePrometheusPrefix(w io.Writer, prefix string) error {
+	return r.writePrometheus(w, func(name string) bool { return strings.HasPrefix(name, prefix) })
+}
+
+func (r *Registry) writePrometheus(w io.Writer, keep func(name string) bool) error {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
+		if keep != nil && !keep(name) {
+			continue
+		}
 		names = append(names, name)
 	}
 	r.mu.Unlock()

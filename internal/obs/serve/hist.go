@@ -41,14 +41,33 @@ type seriesJSON struct {
 	Series  []hist.SeriesInfo `json:"series"`
 }
 
-// handleSeriesz lists the history store's series in canonical order.
+// histStores returns the queryable history stores in render order:
+// the run's store (when -hist-out enabled one) followed by the SLI
+// layer's store (when running in daemon mode). Series namespaces are
+// disjoint (run metrics vs rwc_sli_*), so concatenation is safe.
+func (s *Server) histStores() []*hist.Store {
+	var stores []*hist.Store
+	if s.opts.Hist != nil {
+		stores = append(stores, s.opts.Hist)
+	}
+	if st := s.opts.SLI.Hist(); st != nil {
+		stores = append(stores, st)
+	}
+	return stores
+}
+
+// handleSeriesz lists every history store's series in canonical order.
 func (s *Server) handleSeriesz(w http.ResponseWriter, r *http.Request) {
-	st := s.opts.Hist
-	if st == nil {
+	stores := s.histStores()
+	if len(stores) == 0 {
 		http.Error(w, "metrics history disabled for this run (enable with -hist-out)", http.StatusNotFound)
 		return
 	}
-	info := seriesJSON{Dropped: st.Dropped(), Series: st.Series()}
+	info := seriesJSON{}
+	for _, st := range stores {
+		info.Dropped += st.Dropped()
+		info.Series = append(info.Series, st.Series()...)
+	}
 	if info.Series == nil {
 		info.Series = []hist.SeriesInfo{}
 	}
@@ -69,8 +88,8 @@ func (s *Server) handleSeriesz(w http.ResponseWriter, r *http.Request) {
 //	limit    keep only the newest N samples per series
 //	blocks   1/true to include the downsampled tier
 func (s *Server) handleQueryz(w http.ResponseWriter, r *http.Request) {
-	st := s.opts.Hist
-	if st == nil {
+	stores := s.histStores()
+	if len(stores) == 0 {
 		http.Error(w, "metrics history disabled for this run (enable with -hist-out)", http.StatusNotFound)
 		return
 	}
@@ -110,10 +129,14 @@ func (s *Server) handleQueryz(w http.ResponseWriter, r *http.Request) {
 		q.Blocks = true
 	}
 
-	results, err := st.Query(q)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	var results []hist.Result
+	for _, st := range stores {
+		res, err := st.Query(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		results = append(results, res...)
 	}
 	if results == nil {
 		results = []hist.Result{}

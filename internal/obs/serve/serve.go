@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"repro/internal/obs/flight"
 	"repro/internal/obs/hist"
 	"repro/internal/obs/perf"
+	"repro/internal/obs/sli"
 )
 
 // Options configures a Server.
@@ -65,10 +67,24 @@ type Options struct {
 	// SSEBuffer is the per-client event channel depth (default 256).
 	// When a client cannot keep up, the newest events are dropped for
 	// that client — never buffered unboundedly, never blocking the
-	// simulation — and counted in obs_trace_dropped_total.
+	// simulation — and counted in obs_trace_dropped_total with
+	// cause="slow-consumer" (cause="shutdown" counts events a graceful
+	// Drain left undelivered).
 	SSEBuffer int
 	// Heartbeat is the SSE keep-alive comment interval (default 15s).
 	Heartbeat time.Duration
+	// SLI is the daemon's service-level-indicator layer (nil outside
+	// service mode). /metrics appends its rwc_sli_* families and times
+	// itself into it, /sliz serves its snapshot, /queryz and /seriesz
+	// extend over its history store, and the SSE handler reports
+	// subscriber counts and per-cause drops into it. Like the flight
+	// and server registries, it never enters run artifacts.
+	SLI *sli.Layer
+	// Admit answers /demandz feasibility probes against the daemon's
+	// latest-round snapshot (nil answers 404). The input is the probe's
+	// per-demand volumes; the response must be read-only with respect
+	// to simulation state.
+	Admit func(volumes []float64) AdmitResponse
 }
 
 // Server is the operations-plane HTTP server. Construct with New (for
@@ -83,6 +99,12 @@ type Server struct {
 	sseClients atomic.Int64
 	ln         net.Listener
 	srv        *http.Server
+	// drainCh closes on Drain(): pass one of the graceful two-pass
+	// shutdown. SSE sessions end, counting undelivered buffered events
+	// as cause="shutdown" drops; the listener stays up for final
+	// scrapes until Close().
+	drainCh   chan struct{}
+	drainOnce sync.Once
 }
 
 // New builds a server without binding a listener.
@@ -93,10 +115,12 @@ func New(opts Options) *Server {
 	if opts.Heartbeat <= 0 {
 		opts.Heartbeat = 15 * time.Second
 	}
-	s := &Server{opts: opts, mux: http.NewServeMux(), reg: obs.NewRegistry()}
+	s := &Server{opts: opts, mux: http.NewServeMux(), reg: obs.NewRegistry(), drainCh: make(chan struct{})}
 	s.scrapes = s.reg.Counter("obs_scrapes_total", "Scrapes served on /metrics.")
 	s.queries = s.reg.Counter("obs_queries_total", "History queries served on /queryz and /seriesz.")
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/sliz", s.handleSliz)
+	s.mux.HandleFunc("/demandz", s.handleDemandz)
 	s.mux.HandleFunc("/queryz", s.handleQueryz)
 	s.mux.HandleFunc("/seriesz", s.handleSeriesz)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -156,6 +180,33 @@ func (s *Server) SetReady(ready bool) {
 	s.ready.Store(ready)
 }
 
+// Drain begins the graceful half of the two-pass shutdown: /readyz
+// flips unready (load balancers stop sending), SSE sessions end with
+// their undelivered buffered events counted as cause="shutdown" drops,
+// and the listener stays up so final scrapes and artifact checks can
+// still read the terminal state. Idempotent; safe before Start and on
+// nil.
+func (s *Server) Drain() {
+	if s == nil {
+		return
+	}
+	s.ready.Store(false)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	if s == nil {
+		return false
+	}
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
 // Close stops the listener and any in-flight handlers (SSE streams see
 // their connections reset). Safe before Start and on nil.
 func (s *Server) Close() error {
@@ -175,6 +226,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "metrics registry disabled for this run", http.StatusNotFound)
 		return
 	}
+	// Scrape self-timing is itself an SLI (scrape_latency_slo burns on
+	// it). The wall read stays on the serve/sli side of the
+	// determinism line: it is injected into the SLI layer, never into
+	// the run bundle or its artifacts.
+	scrapeStart := time.Now() //nolint:nowalltime // /metrics self-timing for the SLI layer; no simulation state involved
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := appReg.WritePrometheus(w); err != nil {
 		return // client went away mid-write; nothing to clean up
@@ -186,9 +242,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Flight != nil {
 		_ = s.opts.Flight.Registry().WritePrometheus(w)
 	}
+	// The SLI layer's registry renders only its rwc_sli_* families:
+	// its internal alert-engine bookkeeping (alerts_*) would collide
+	// with the app registry's families on a shared scrape, and /sliz
+	// carries that state instead.
+	if s.opts.SLI != nil {
+		_ = s.opts.SLI.Registry().WritePrometheusPrefix(w, sli.Prefix)
+	}
 	// Counted after rendering so a scrape reports the scrapes that
 	// completed before it.
 	s.scrapes.Inc()
+	s.opts.SLI.ScrapeObserved(time.Since(scrapeStart)) //nolint:nowalltime // closes the /metrics self-timing window opened above
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

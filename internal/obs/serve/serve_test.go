@@ -283,8 +283,8 @@ func TestSSESlowConsumerDropsAreCounted(t *testing.T) {
 	resp.Body.Close()
 
 	waitFor(t, func() bool {
-		return s.Registry().Totals()["obs_trace_dropped_total"] > 0
-	}, "dropped events counted in obs_trace_dropped_total")
+		return s.Registry().Totals()[`obs_trace_dropped_total{cause="slow-consumer"}`] > 0
+	}, "dropped events counted in obs_trace_dropped_total{cause=\"slow-consumer\"}")
 	// The app registry (artifact surface) must stay untouched.
 	if len(o.Metrics.Totals()) != 0 {
 		t.Fatalf("SSE serving wrote into the app registry: %v", o.Metrics.Totals())

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/sli"
 )
 
 // This file implements the /traces endpoint: a Server-Sent Events
@@ -19,7 +20,10 @@ import (
 // when its buffer fills, the newest events are dropped for that client
 // (the delivered stream stays an exact prefix of the record, plus a
 // gap visible in the seq numbers) and counted in the server-owned
-// obs_trace_dropped_total.
+// obs_trace_dropped_total{cause="slow-consumer"}. A graceful Drain
+// ends the session instead; events still buffered but undelivered at
+// that point are counted under cause="shutdown", so the two ways a
+// client can miss events stay distinguishable.
 
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	tracer := s.tracer()
@@ -38,19 +42,34 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 
 	clients := s.reg.Gauge("obs_sse_clients", "Currently connected /traces SSE clients.")
 	clients.Add(1)
-	s.sseClients.Add(1)
+	s.opts.SLI.SSESubscribers(int(s.sseClients.Add(1)))
 	defer func() {
 		clients.Add(-1)
-		s.sseClients.Add(-1)
+		s.opts.SLI.SSESubscribers(int(s.sseClients.Add(-1)))
 	}()
-	droppedCtr := s.reg.Counter("obs_trace_dropped_total",
-		"Trace events dropped for slow /traces SSE clients (drop-newest policy).")
+	droppedSlow := s.reg.Counter("obs_trace_dropped_total",
+		"Trace events dropped on the /traces SSE fan-out, by cause (slow-consumer: drop-newest on a full client buffer; shutdown: buffered but undelivered at graceful drain).",
+		obs.L("cause", sli.DropSlowConsumer))
 	var droppedSeen uint64
 	syncDropped := func() {
 		if d := sub.Dropped(); d > droppedSeen {
-			droppedCtr.Add(float64(d - droppedSeen))
+			droppedSlow.Add(float64(d - droppedSeen))
+			s.opts.SLI.SSEDropped(sli.DropSlowConsumer, d-droppedSeen)
 			droppedSeen = d
 		}
+	}
+	// dropShutdown counts the events a graceful drain leaves in the
+	// subscription buffer: delivered-stream truncation the client can
+	// attribute to the server stopping, not to its own slowness.
+	dropShutdown := func() {
+		n := uint64(len(sub.C()))
+		if n == 0 {
+			return
+		}
+		s.reg.Counter("obs_trace_dropped_total",
+			"Trace events dropped on the /traces SSE fan-out, by cause (slow-consumer: drop-newest on a full client buffer; shutdown: buffered but undelivered at graceful drain).",
+			obs.L("cause", sli.DropShutdown)).Add(float64(n))
+		s.opts.SLI.SSEDropped(sli.DropShutdown, n)
 	}
 
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -64,6 +83,13 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	fl.Flush()
+	// A session starting after Drain serves the backlog (final-state
+	// reads stay possible until Close) and ends immediately.
+	if s.Draining() {
+		syncDropped()
+		dropShutdown()
+		return
+	}
 
 	// The heartbeat keeps proxies from reaping idle connections and
 	// bounds how stale the dropped-event counter can go. It is wall
@@ -76,6 +102,13 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			syncDropped()
+			return
+		case <-s.drainCh:
+			// Graceful shutdown: end the session now, counting what the
+			// buffer still holds as shutdown drops rather than racing to
+			// deliver it.
+			syncDropped()
+			dropShutdown()
 			return
 		case <-heartbeat.C:
 			syncDropped()

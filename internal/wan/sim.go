@@ -133,6 +133,28 @@ type SimConfig struct {
 	// emits byte-identical stdout/metrics/trace/hist/flight to one
 	// without.
 	Perf *perf.Recorder
+	// Pace gates round execution for service mode (internal/daemon).
+	// It is consulted before each round with (policy, round); returning
+	// false ends that policy's run at a round boundary, so a paced run
+	// that executes rounds [0,K) emits exactly the per-round state a
+	// free run would have emitted for those rounds. Nil (the default)
+	// never gates — the one-shot path. Called from policy worker
+	// goroutines; implementations must be safe for concurrent use and
+	// must not touch the simulation's deterministic artifacts.
+	Pace func(policy Policy, round int) bool
+	// RoundHook observes each completed round (policy + its metrics).
+	// It exists so a service layer can derive operational telemetry
+	// (decisions/sec, round latency) outside the deterministic
+	// artifact set; the simulation ignores anything the hook does.
+	// Nil disables it. Called from policy worker goroutines;
+	// implementations must be safe for concurrent use.
+	RoundHook func(policy Policy, m RoundMetrics)
+	// SimTimeOffset shifts the simulation-clock timebase: round r is
+	// stamped SimTimeOffset + r×RoundInterval. Daemon generations ≥ 2
+	// continue the clock past the prior generation's horizon so
+	// history timestamps stay monotonic across config reloads. Zero
+	// (the default) for one-shot runs.
+	SimTimeOffset time.Duration
 }
 
 // applyDefaults fills zero values.
@@ -188,6 +210,9 @@ func (c *SimConfig) Validate() error {
 	}
 	if c.MaxDemands < 0 {
 		return fmt.Errorf("wan: negative max demands %d", c.MaxDemands)
+	}
+	if c.SimTimeOffset < 0 {
+		return fmt.Errorf("wan: negative sim time offset %v", c.SimTimeOffset)
 	}
 	if saturatingHorizon(c.Rounds, c.RoundInterval) == math.MaxInt64 {
 		return fmt.Errorf("wan: %d rounds x %v round interval overflows the simulation horizon", c.Rounds, c.RoundInterval)
@@ -534,6 +559,9 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 	}
 
 	for r := 0; r < cfg.Rounds; r++ {
+		if cfg.Pace != nil && !cfg.Pace(policy, r) {
+			break
+		}
 		if cfg.ColdSolves {
 			// Cold mode: round zero conditions every round — fresh
 			// working graph, topology, augmenter, solver, buffers.
@@ -541,8 +569,9 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 				return nil, err
 			}
 		}
-		// The simulation clock is the trace timebase: round × interval.
-		o.SetSimTime(time.Duration(r) * cfg.RoundInterval)
+		// The simulation clock is the trace timebase: round × interval
+		// (shifted by SimTimeOffset across daemon generations).
+		o.SetSimTime(cfg.SimTimeOffset + time.Duration(r)*cfg.RoundInterval)
 		// Span/PhaseTimer calls allocate their labels at the call site,
 		// so the disabled-observability round stays allocation-free.
 		endRound, endPhase := noopEnd, noopEnd
@@ -776,6 +805,9 @@ func (s *Simulation) runPolicy(policy Policy, o *obs.Obs) (*Result, error) {
 		endPhase()
 		endPerf()
 		res.Rounds = append(res.Rounds, metrics)
+		if cfg.RoundHook != nil {
+			cfg.RoundHook(policy, metrics)
+		}
 	}
 	eng.Finish()
 	plog.Info("policy complete",
